@@ -1,0 +1,22 @@
+// Figure 1: performance degradation without any injection limitation.
+// Latency, accepted traffic and % detected deadlocks versus offered
+// traffic on the deadlock-recovery 8-ary 3-cube, uniform 16-flit
+// messages. Accepted traffic must collapse below its peak and latency
+// and deadlock detections must blow up once offered load passes
+// saturation.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  wormsim::bench::FigureSpec spec;
+  spec.figure = "Figure 1";
+  spec.expectation =
+      "beyond saturation, accepted traffic drops below its peak while "
+      "latency and the deadlock-detection rate increase sharply";
+  spec.pattern = wormsim::traffic::PatternKind::Uniform;
+  spec.msg_len = 16;
+  spec.limiters = {wormsim::core::LimiterKind::None};
+  spec.min_load = 0.1;
+  spec.max_load = 1.3;
+  spec.loads = 10;
+  return wormsim::bench::run_figure(spec, argc, argv);
+}

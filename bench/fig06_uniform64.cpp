@@ -1,0 +1,16 @@
+// Figure 6: average message latency versus traffic, uniform
+// destinations, 64-flit messages.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  wormsim::bench::FigureSpec spec;
+  spec.figure = "Figure 6";
+  spec.expectation =
+      "same ordering as Figure 5 with longer messages: limiters prevent "
+      "saturation collapse; ALO keeps the lowest latency penalty";
+  spec.pattern = wormsim::traffic::PatternKind::Uniform;
+  spec.msg_len = 64;
+  spec.min_load = 0.1;
+  spec.max_load = 1.2;
+  return wormsim::bench::run_figure(spec, argc, argv);
+}

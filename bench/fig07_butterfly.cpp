@@ -1,0 +1,17 @@
+// Figure 7: average message latency versus traffic, butterfly
+// permutation (swap most/least significant address bits), 16-flit
+// messages.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  wormsim::bench::FigureSpec spec;
+  spec.figure = "Figure 7";
+  spec.expectation =
+      "injection limitation is mandatory to avoid severe degradation; "
+      "ALO reaches the highest (or near-highest) throughput";
+  spec.pattern = wormsim::traffic::PatternKind::Butterfly;
+  spec.msg_len = 16;
+  spec.min_load = 0.05;
+  spec.max_load = 0.8;
+  return wormsim::bench::run_figure(spec, argc, argv);
+}

@@ -1,0 +1,17 @@
+// Figure 9: average message latency versus traffic, bit-reversal
+// permutation, 16-flit messages. Paper: >20% detected deadlocks at
+// saturation without limitation.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  wormsim::bench::FigureSpec spec;
+  spec.figure = "Figure 9";
+  spec.expectation =
+      "limiters prevent degradation; ALO competitive on throughput "
+      "though another mechanism may edge it out on this pattern";
+  spec.pattern = wormsim::traffic::PatternKind::BitReversal;
+  spec.msg_len = 16;
+  spec.min_load = 0.05;
+  spec.max_load = 0.8;
+  return wormsim::bench::run_figure(spec, argc, argv);
+}

@@ -1,0 +1,85 @@
+// Shared scaffolding for the per-figure bench binaries.
+//
+// Every figure bench reproduces one figure of the paper at full scale
+// (8-ary 3-cube, 512 nodes) by default. Environment/flags:
+//   WORMSIM_FAST=1        shrink to the 64-node preset (CI-sized)
+//   --loads N             number of offered-load points (default 7)
+//   --min-load/--max-load sweep range in flits/node/cycle
+//   --warmup/--measure/--drain, --k/--n/--vcs/--msg-len/--pattern/--seed
+//
+// Output: a banner line, the expectation note from the paper, then CSV.
+#pragma once
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "harness/sweep.hpp"
+#include "util/cli.hpp"
+
+namespace wormsim::bench {
+
+struct FigureSpec {
+  const char* figure;       // e.g. "Figure 5"
+  const char* expectation;  // the paper's qualitative claim
+  traffic::PatternKind pattern = traffic::PatternKind::Uniform;
+  std::uint32_t msg_len = 16;
+  std::vector<core::LimiterKind> limiters = {
+      core::LimiterKind::None, core::LimiterKind::ALO, core::LimiterKind::LF,
+      core::LimiterKind::DRIL};
+  double min_load = 0.1;
+  double max_load = 1.2;
+  unsigned loads = 7;
+};
+
+inline config::SimConfig figure_base(const FigureSpec& spec,
+                                     const util::ArgParser& args) {
+  config::SimConfig cfg = config::paper_base();
+  // Bench-sized windows: long enough for ~100k messages per point at
+  // 512 nodes, short enough to sweep dozens of points.
+  cfg.protocol.warmup = 3000;
+  cfg.protocol.measure = 8000;
+  cfg.protocol.drain_max = 8000;
+  cfg.workload.pattern = spec.pattern;
+  cfg.workload.length.fixed = spec.msg_len;
+  harness::apply_common_flags(cfg, args);
+  harness::apply_scale_env(cfg);
+  return cfg;
+}
+
+/// Standard latency/throughput/deadlock sweep figure.
+inline int run_figure(const FigureSpec& spec, int argc, char** argv) {
+  try {
+    const util::ArgParser args(argc, argv);
+    config::SimConfig cfg = figure_base(spec, args);
+    harness::SweepSpec sweep;
+    sweep.base = cfg;
+    sweep.limiters = spec.limiters;
+    sweep.offered_loads = harness::load_range(
+        args.get_double("min-load", spec.min_load),
+        args.get_double("max-load", spec.max_load),
+        static_cast<unsigned>(args.get_uint("loads", spec.loads)));
+    sweep.on_point = [](const harness::SweepPoint& p) {
+      std::fprintf(stderr, "  [%s @ %.3f] accepted=%.3f latency=%.1f dl=%.2f%%%s\n",
+                   std::string(core::limiter_name(p.limiter)).c_str(),
+                   p.offered, p.result.accepted_flits_per_node_cycle,
+                   p.result.latency_mean, p.result.deadlock_pct,
+                   p.result.saturated ? " (saturated)" : "");
+    };
+
+    std::cout << "# " << spec.figure << " — "
+              << traffic::pattern_name(spec.pattern) << " traffic, "
+              << spec.msg_len << "-flit messages\n";
+    std::cout << "# paper expectation: " << spec.expectation << "\n";
+    std::cout << harness::describe(cfg) << "\n";
+    const auto points = harness::run_sweep(sweep);
+    harness::write_sweep_csv(std::cout, points);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace wormsim::bench

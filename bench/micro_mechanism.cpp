@@ -1,0 +1,143 @@
+// Micro-benchmarks (google-benchmark): per-operation cost of the ALO
+// decision (behavioural predicate and gate-circuit model), the LF and
+// DRIL checks, the routing functions and the selection function — the
+// hardware-cost claims of §3 translated to software terms, plus overall
+// simulator cycle throughput.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "config/presets.hpp"
+#include "core/alo.hpp"
+#include "core/alo_gates.hpp"
+#include "core/dril.hpp"
+#include "core/linear_function.hpp"
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wormsim;
+
+/// Synthetic channel-status register with pseudo-random occupancy.
+class SyntheticStatus final : public core::ChannelStatus {
+ public:
+  SyntheticStatus(unsigned channels, unsigned vcs, std::uint64_t seed)
+      : channels_(channels), vcs_(vcs), rng_(seed) {
+    masks_.resize(1024);
+    for (auto& m : masks_) {
+      m = static_cast<std::uint32_t>(rng_.bits() & ((1u << vcs) - 1));
+    }
+  }
+  unsigned num_phys_channels() const override { return channels_; }
+  unsigned num_vcs() const override { return vcs_; }
+  std::uint32_t free_vc_mask(core::NodeId node,
+                             core::ChannelId c) const override {
+    return masks_[(node * channels_ + c) % masks_.size()];
+  }
+
+ private:
+  unsigned channels_;
+  unsigned vcs_;
+  util::Rng rng_;
+  std::vector<std::uint32_t> masks_;
+};
+
+void BM_AloPredicate(benchmark::State& state) {
+  SyntheticStatus status(6, 3, 1);
+  std::uint32_t node = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::evaluate_alo(status, node++ % 512, 0b010101));
+  }
+}
+BENCHMARK(BM_AloPredicate);
+
+void BM_AloGateCircuit(benchmark::State& state) {
+  core::AloGateCircuit circuit(6, 3);
+  util::Rng rng(2);
+  std::uint64_t busy = rng.bits();
+  for (auto _ : state) {
+    busy = busy * 6364136223846793005ULL + 1;
+    benchmark::DoNotOptimize(
+        circuit.evaluate(busy & ((1ULL << 18) - 1), 0b010101));
+  }
+}
+BENCHMARK(BM_AloGateCircuit);
+
+void BM_LinearFunctionCheck(benchmark::State& state) {
+  SyntheticStatus status(6, 3, 3);
+  core::LinearFunctionLimiter lf(0.625);
+  routing::RouteResult route;
+  for (unsigned c = 0; c < 6; c += 2) {
+    route.candidates.push_back({static_cast<topo::ChannelId>(c), 0b111, false});
+    route.useful_phys_mask |= 1u << c;
+  }
+  core::InjectionRequest req;
+  req.route = &route;
+  std::uint32_t node = 0;
+  for (auto _ : state) {
+    req.node = node++ % 512;
+    benchmark::DoNotOptimize(lf.allow(req, status));
+  }
+}
+BENCHMARK(BM_LinearFunctionCheck);
+
+void BM_DrilCheck(benchmark::State& state) {
+  SyntheticStatus status(6, 3, 4);
+  core::DrilLimiter dril(512, 16, 1, 2048);
+  routing::RouteResult route;
+  route.useful_phys_mask = 0b111111;
+  core::InjectionRequest req;
+  req.route = &route;
+  std::uint64_t cycle = 0;
+  for (auto _ : state) {
+    req.node = static_cast<core::NodeId>(cycle % 512);
+    req.cycle = ++cycle;
+    req.head_wait = cycle % 40;
+    benchmark::DoNotOptimize(dril.allow(req, status));
+  }
+}
+BENCHMARK(BM_DrilCheck);
+
+void BM_RoutingFunction(benchmark::State& state) {
+  const topo::KAryNCube topo(8, 3);
+  const auto algo = static_cast<routing::Algorithm>(state.range(0));
+  auto routing = routing::make_routing(algo, topo, 3);
+  routing::RouteResult out;
+  util::Rng rng(5);
+  for (auto _ : state) {
+    const auto src = static_cast<topo::NodeId>(rng.below(512));
+    auto dst = static_cast<topo::NodeId>(rng.below(512));
+    if (dst == src) dst = (dst + 1) % 512;
+    routing->route(src, dst, out);
+    benchmark::DoNotOptimize(out.useful_phys_mask);
+  }
+}
+BENCHMARK(BM_RoutingFunction)
+    ->Arg(static_cast<int>(routing::Algorithm::TFAR))
+    ->Arg(static_cast<int>(routing::Algorithm::DOR))
+    ->Arg(static_cast<int>(routing::Algorithm::Duato));
+
+void BM_SimulatorCycle(benchmark::State& state) {
+  // Whole-simulator throughput: node-cycles per second at a moderate
+  // load on the configured cube size (range(0) = n).
+  config::SimConfig cfg = config::paper_base();
+  cfg.n = static_cast<unsigned>(state.range(0));
+  cfg.workload.offered_flits_per_node_cycle = 0.4;
+  auto sim = config::build_simulator(cfg);
+  sim->step_cycles(500);  // warm into steady state
+  const auto nodes = sim->topology().num_nodes();
+  for (auto _ : state) {
+    sim->step();
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_SimulatorCycle)->Arg(2)->Arg(3)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

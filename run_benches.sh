@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerates bench_output.txt: every figure/ablation/micro bench at
+# full paper scale (8-ary 3-cube). Takes on the order of an hour on one
+# core.
+set -u
+cd "$(dirname "$0")"
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && echo "===== $b" && "$b"
+done

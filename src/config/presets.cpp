@@ -1,0 +1,85 @@
+#include "config/presets.hpp"
+
+#include <stdexcept>
+
+namespace wormsim::config {
+
+SimConfig paper_base() {
+  SimConfig cfg;
+  cfg.k = 8;
+  cfg.n = 3;
+  cfg.sim.net.num_vcs = 3;
+  cfg.sim.net.buf_flits = 4;
+  cfg.sim.net.inj_channels = 4;
+  cfg.sim.net.eje_channels = 4;
+  cfg.sim.net.link_delay = 2;     // crossbar + channel, one cycle each
+  cfg.sim.routing_delay = 1;      // routing, one cycle
+  cfg.sim.algorithm = routing::Algorithm::TFAR;
+  cfg.sim.selection = routing::SelectionPolicy::MaxFreeVcs;
+  cfg.sim.detection.enabled = true;
+  cfg.sim.detection.threshold = 32;
+  cfg.sim.recovery.base_delay = 32;
+  cfg.sim.limiter.kind = core::LimiterKind::None;
+  cfg.workload.pattern = traffic::PatternKind::Uniform;
+  cfg.workload.process = traffic::ProcessKind::Exponential;
+  cfg.workload.length.kind = traffic::LengthDist::Kind::Fixed;
+  cfg.workload.length.fixed = 16;
+  cfg.workload.offered_flits_per_node_cycle = 0.1;
+  cfg.protocol.warmup = 10000;
+  cfg.protocol.measure = 30000;
+  cfg.protocol.drain_max = 30000;
+  cfg.seed = 20000501;  // IPPS 2000
+  return cfg;
+}
+
+SimConfig small_base() {
+  SimConfig cfg = paper_base();
+  cfg.n = 2;  // 8-ary 2-cube, 64 nodes
+  cfg.protocol.warmup = 5000;
+  cfg.protocol.measure = 15000;
+  cfg.protocol.drain_max = 20000;
+  return cfg;
+}
+
+void validate(const SimConfig& cfg) {
+  if (cfg.k < 2) throw std::invalid_argument("k must be >= 2");
+  if (cfg.n < 1 || cfg.n > topo::kMaxDims) {
+    throw std::invalid_argument("n out of range");
+  }
+  if (cfg.workload.length.mean() <= 0) {
+    throw std::invalid_argument("message length must be positive");
+  }
+  if (cfg.workload.offered_flits_per_node_cycle < 0) {
+    throw std::invalid_argument("offered load must be >= 0");
+  }
+  if (cfg.sim.algorithm == routing::Algorithm::TFAR &&
+      !cfg.sim.detection.enabled) {
+    throw std::invalid_argument(
+        "TFAR is not deadlock-free: deadlock detection must be enabled");
+  }
+  if (cfg.protocol.measure == 0) {
+    throw std::invalid_argument("measurement window must be non-empty");
+  }
+  // NetworkParams and routing constraints are validated by their
+  // constructors; trigger them early for a clear error site.
+  const topo::KAryNCube topo(cfg.k, cfg.n);
+  sim::Network probe_net(topo, cfg.sim.net);
+  (void)routing::make_routing(cfg.sim.algorithm, topo, cfg.sim.net.num_vcs);
+}
+
+std::unique_ptr<sim::Simulator> build_simulator(const SimConfig& cfg) {
+  validate(cfg);
+  const topo::KAryNCube topo(cfg.k, cfg.n);
+  auto workload =
+      std::make_unique<traffic::Workload>(topo, cfg.workload, cfg.seed);
+  sim::SimulatorConfig sc = cfg.sim;
+  sc.seed = cfg.seed;
+  return std::make_unique<sim::Simulator>(topo, sc, std::move(workload));
+}
+
+metrics::SimResult run_experiment(const SimConfig& cfg) {
+  auto simulator = build_simulator(cfg);
+  return simulator->run(cfg.protocol);
+}
+
+}  // namespace wormsim::config

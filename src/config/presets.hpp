@@ -1,0 +1,43 @@
+// Whole-experiment configuration and the paper's presets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "traffic/workload.hpp"
+
+namespace wormsim::config {
+
+/// One fully-specified simulation experiment.
+struct SimConfig {
+  unsigned k = 8;
+  unsigned n = 3;
+  sim::SimulatorConfig sim{};
+  traffic::WorkloadConfig workload{};
+  sim::RunProtocol protocol{};
+  std::uint64_t seed = 1;
+};
+
+/// The paper's §4.1 configuration: bidirectional 8-ary 3-cube (512
+/// nodes), 3 VCs per physical channel with 4-flit buffers, 4 injection
+/// and ejection channels per node, TFAR routing, FC3D-style detection
+/// with a 32-cycle threshold, software-based recovery, exponential
+/// per-node injection, uniform destinations, 16-flit messages.
+SimConfig paper_base();
+
+/// Reduced-scale variant for fast benches and CI: 8-ary 2-cube (64
+/// nodes), same router parameters. The qualitative saturation behaviour
+/// is preserved; see EXPERIMENTS.md for the scale note.
+SimConfig small_base();
+
+/// Throws std::invalid_argument on inconsistent settings.
+void validate(const SimConfig& cfg);
+
+/// Build a ready-to-run Simulator (topology + workload wired up).
+std::unique_ptr<sim::Simulator> build_simulator(const SimConfig& cfg);
+
+/// Convenience: build, run the protocol, return the result.
+metrics::SimResult run_experiment(const SimConfig& cfg);
+
+}  // namespace wormsim::config

@@ -1,0 +1,70 @@
+#include "core/cost_model.hpp"
+
+#include "core/alo_gates.hpp"
+
+namespace wormsim::core {
+
+unsigned count_bits(unsigned n) {
+  unsigned bits = 0;
+  while ((1u << bits) <= n) ++bits;
+  return bits;
+}
+
+namespace {
+
+/// Population counter over `inputs` status bits: a tree of full adders.
+/// A standard Wallace-style popcount of n bits costs about n full
+/// adders' worth of hardware; we report it as adder bits.
+unsigned popcount_adder_bits(unsigned inputs) { return inputs; }
+
+HardwareCost alo_cost(unsigned channels, unsigned vcs) {
+  HardwareCost cost;
+  cost.combinational_gates = AloGateCircuit(channels, vcs).gate_count();
+  // No thresholds: no registers, comparators or adders (paper §3).
+  return cost;
+}
+
+HardwareCost lf_cost(unsigned channels, unsigned vcs) {
+  // LF counts busy useful VCs and compares against a linear function of
+  // the useful-VC count:
+  //  * mask status register with the routing vector: channels*vcs ANDs
+  //  * popcount both the busy-useful bits and the useful bits
+  //  * multiply/shift for the linear threshold (approximated as one
+  //    adder pass over the count width) and one comparator
+  HardwareCost cost;
+  const unsigned status_bits = channels * vcs;
+  const unsigned width = count_bits(status_bits);
+  cost.combinational_gates = status_bits /* useful masking */ +
+                             status_bits /* busy inversion */;
+  cost.adder_bits = popcount_adder_bits(status_bits) * 2 + width;
+  cost.comparator_bits = width;
+  return cost;
+}
+
+HardwareCost dril_cost(unsigned channels, unsigned vcs) {
+  // DRIL = LF-style busy counting plus per-node dynamic state: the
+  // frozen threshold register, the saturation-detection timer and the
+  // relaxation timer, each compared every cycle.
+  HardwareCost cost = lf_cost(channels, vcs);
+  const unsigned width = count_bits(channels * vcs);
+  const unsigned timer_bits = 16;  // detection / relaxation timers
+  cost.register_bits = width /* threshold */ + 2 * timer_bits + 1 /*frozen*/;
+  cost.comparator_bits += width + 2 * timer_bits;
+  cost.adder_bits += 2 * timer_bits;  // timer increments
+  return cost;
+}
+
+}  // namespace
+
+HardwareCost estimate_cost(LimiterKind kind, unsigned channels,
+                           unsigned vcs) {
+  switch (kind) {
+    case LimiterKind::None: return {};
+    case LimiterKind::ALO: return alo_cost(channels, vcs);
+    case LimiterKind::LF: return lf_cost(channels, vcs);
+    case LimiterKind::DRIL: return dril_cost(channels, vcs);
+  }
+  return {};
+}
+
+}  // namespace wormsim::core

@@ -1,0 +1,51 @@
+// Hardware cost model for the injection-limitation mechanisms.
+//
+// The paper's §3 cost argument: ALO is pure combinational logic on the
+// VC status register — "As the mechanism does not need any threshold,
+// there is neither need for registers nor comparators" — whereas the
+// busy-VC-counting mechanisms (LF, DRIL) need a population counter over
+// the status register, a comparator against the threshold, and (DRIL)
+// per-node threshold/timer registers. This model turns that argument
+// into numbers: two-input-gate equivalents, register bits and
+// comparator bits per router, parameterized by channel/VC counts.
+//
+// Gate-equivalent conventions (standard synthesis rules of thumb):
+//   * NOT = 1, AND2/OR2 = 1, XOR2 = 3, 1-bit full adder = 5
+//   * n-input AND/OR reduction = (n-1) two-input gates
+//   * n-bit comparator (greater/less) = 5n gate equivalents
+//   * 1 register bit = 6 gate equivalents (D flip-flop), also reported
+//     separately because registers cost clocking, not just area
+#pragma once
+
+#include <string_view>
+
+#include "core/limiter.hpp"
+
+namespace wormsim::core {
+
+struct HardwareCost {
+  unsigned combinational_gates = 0;  // two-input-gate equivalents
+  unsigned register_bits = 0;
+  unsigned comparator_bits = 0;
+  unsigned adder_bits = 0;
+
+  /// Single-number summary: gates + 6 per register bit + 5 per
+  /// comparator bit + 5 per adder bit.
+  unsigned total_gate_equivalents() const noexcept {
+    return combinational_gates + 6 * register_bits + 5 * comparator_bits +
+           5 * adder_bits;
+  }
+  /// The paper's qualitative criterion: any sequential state at all?
+  bool needs_registers() const noexcept { return register_bits > 0; }
+  bool needs_comparators() const noexcept { return comparator_bits > 0; }
+};
+
+/// Per-router cost of one mechanism for a router with `channels`
+/// physical channels and `vcs` virtual channels per channel.
+/// Counter/threshold widths are ceil(log2(channels*vcs + 1)) bits.
+HardwareCost estimate_cost(LimiterKind kind, unsigned channels, unsigned vcs);
+
+/// ceil(log2(n + 1)): bits needed to hold counts 0..n.
+unsigned count_bits(unsigned n);
+
+}  // namespace wormsim::core

@@ -1,0 +1,40 @@
+#include "core/linear_function.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace wormsim::core {
+
+LinearFunctionLimiter::LinearFunctionLimiter(double alpha) : alpha_(alpha) {
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("LF alpha must be in [0, 1]");
+  }
+}
+
+LinearFunctionLimiter::Counts LinearFunctionLimiter::count_useful(
+    const ChannelStatus& status, NodeId node,
+    const routing::RouteResult& route) {
+  Counts counts;
+  const unsigned vcs = status.num_vcs();
+  const std::uint32_t vc_field = (1u << vcs) - 1u;
+  for (unsigned c = 0; c < status.num_phys_channels(); ++c) {
+    if (!(route.useful_phys_mask & (1u << c))) continue;
+    const std::uint32_t free =
+        status.free_vc_mask(node, static_cast<ChannelId>(c)) & vc_field;
+    counts.total += vcs;
+    counts.busy += vcs - static_cast<unsigned>(std::popcount(free));
+  }
+  return counts;
+}
+
+bool LinearFunctionLimiter::allow(const InjectionRequest& req,
+                                  const ChannelStatus& status) {
+  const Counts counts = count_useful(status, req.node, *req.route);
+  if (counts.total == 0) return true;  // no useful channels: vacuous
+  const auto threshold =
+      static_cast<unsigned>(std::floor(alpha_ * counts.total));
+  return counts.busy <= threshold;
+}
+
+}  // namespace wormsim::core

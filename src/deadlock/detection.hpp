@@ -1,0 +1,40 @@
+// Deadlock detection configuration.
+//
+// The paper uses the FC3D mechanism [López/Martínez/Duato, HPCA workshop
+// '98] with a 32-cycle threshold. FC3D cuts false positives by watching
+// flow-control signals: a message is presumed deadlocked only when it
+// has been blocked while no flit of it moves anywhere. We approximate
+// that exactly at the message level: a message whose header holds a
+// network channel and none of whose flits has advanced (injected,
+// forwarded or ejected) for `threshold` cycles is declared deadlocked
+// (see DESIGN.md, Substitutions).
+//
+// Exemptions, mirroring what FC3D can observe:
+//  * messages whose header is still in an injection channel hold no
+//    network channel and cannot close a dependency cycle;
+//  * messages whose header reached the destination always drain through
+//    an ejection port.
+#pragma once
+
+#include <cstdint>
+
+namespace wormsim::deadlock {
+
+struct DetectionConfig {
+  bool enabled = true;
+  /// Cycles of whole-message inactivity before a deadlock is presumed
+  /// (paper §4.1: 32).
+  std::uint32_t threshold = 32;
+};
+
+/// Software-based recovery [Martínez/López/Duato/Pinkston, ICPP'97]: the
+/// deadlocked message is absorbed by the node currently holding its
+/// header and later re-injected from there toward the original
+/// destination. The modelled cost of the software path is
+/// `base_delay + message_length` cycles between absorption and
+/// re-injection eligibility.
+struct RecoveryConfig {
+  std::uint32_t base_delay = 32;
+};
+
+}  // namespace wormsim::deadlock

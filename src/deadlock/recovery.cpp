@@ -1,0 +1,4 @@
+// RecoveryManager is header-only; this TU anchors the library target.
+#include "deadlock/recovery.hpp"
+
+namespace wormsim::deadlock {}

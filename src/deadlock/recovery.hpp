@@ -1,0 +1,59 @@
+// Per-node queues of absorbed (deadlocked) messages awaiting software
+// re-injection.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "deadlock/detection.hpp"
+
+namespace wormsim::deadlock {
+
+using MsgId = std::uint32_t;
+using NodeId = std::uint32_t;
+using Cycle = std::uint64_t;
+
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(NodeId num_nodes) : queues_(num_nodes) {}
+
+  /// Absorbed message becomes re-injectable at `ready` (absorption +
+  /// software handling cost already added by the caller).
+  void enqueue(NodeId node, MsgId msg, Cycle ready) {
+    queues_[node].push_back({msg, ready});
+    ++pending_;
+  }
+
+  /// Is the oldest absorbed message at `node` ready for re-injection?
+  bool has_ready(NodeId node, Cycle now) const noexcept {
+    return !queues_[node].empty() && queues_[node].front().ready <= now;
+  }
+
+  MsgId pop(NodeId node) {
+    const MsgId id = queues_[node].front().msg;
+    queues_[node].pop_front();
+    --pending_;
+    return id;
+  }
+
+  std::size_t pending(NodeId node) const noexcept {
+    return queues_[node].size();
+  }
+  std::size_t pending_total() const noexcept { return pending_; }
+
+  void clear() {
+    for (auto& q : queues_) q.clear();
+    pending_ = 0;
+  }
+
+ private:
+  struct Entry {
+    MsgId msg;
+    Cycle ready;
+  };
+  std::vector<std::deque<Entry>> queues_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace wormsim::deadlock

@@ -1,0 +1,28 @@
+#include "harness/replay.hpp"
+
+namespace wormsim::harness {
+
+bool TraceReplayer::pump_and_step(sim::Simulator& sim) {
+  const auto& records = trace_->records();
+  const std::uint64_t now = sim.cycle();
+  while (pos_ < records.size() && records[pos_].cycle == now) {
+    const auto& r = records[pos_++];
+    sim.push_message(r.src, r.dst, r.length);
+  }
+  sim.step();
+  return pos_ < records.size() || now < trace_->horizon();
+}
+
+void TraceReplayer::run_to_completion(sim::Simulator& sim,
+                                      std::uint64_t drain_cycles) {
+  while (pump_and_step(sim)) {
+  }
+  const std::uint64_t limit = sim.cycle() + drain_cycles;
+  while (sim.cycle() < limit &&
+         (sim.messages_in_flight() > 0 || sim.source_queue_total() > 0 ||
+          sim.recovery_pending() > 0)) {
+    sim.step();
+  }
+}
+
+}  // namespace wormsim::harness

@@ -1,0 +1,34 @@
+// Trace replay driver: feed a recorded Trace into a Simulator cycle by
+// cycle. A replayed trace reproduces exactly what the equivalent live
+// Workload would have generated (messages enter the source queues at
+// the same cycles in the same order).
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "traffic/trace.hpp"
+
+namespace wormsim::harness {
+
+class TraceReplayer {
+ public:
+  explicit TraceReplayer(const traffic::Trace& trace) : trace_(&trace) {}
+
+  /// Push every record generated at the simulator's current cycle, then
+  /// step once. Returns false once the trace is exhausted AND the
+  /// current cycle is past its horizon (the caller may keep stepping to
+  /// drain).
+  bool pump_and_step(sim::Simulator& sim);
+
+  /// Drive the simulator through the whole trace plus up to
+  /// `drain_cycles` extra cycles or until the network drains.
+  void run_to_completion(sim::Simulator& sim, std::uint64_t drain_cycles);
+
+  std::size_t replayed() const noexcept { return pos_; }
+  bool exhausted() const noexcept { return pos_ >= trace_->size(); }
+
+ private:
+  const traffic::Trace* trace_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace wormsim::harness

@@ -1,0 +1,161 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace wormsim::harness {
+
+std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
+  std::vector<SweepPoint> points;
+  points.reserve(spec.limiters.size() * spec.offered_loads.size());
+  unsigned index = 0;
+  for (const auto limiter : spec.limiters) {
+    for (const double offered : spec.offered_loads) {
+      config::SimConfig cfg = spec.base;
+      cfg.sim.limiter.kind = limiter;
+      cfg.workload.offered_flits_per_node_cycle = offered;
+      // Decorrelate points while keeping the sweep reproducible.
+      cfg.seed = spec.base.seed + 0x9e3779b9ULL * ++index;
+      SweepPoint point{limiter, offered, config::run_experiment(cfg)};
+      if (spec.on_point) spec.on_point(point);
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
+void write_sweep_csv(std::ostream& out,
+                     const std::vector<SweepPoint>& points) {
+  util::CsvWriter csv(out);
+  csv.header({"mechanism", "offered_flits_node_cycle", "latency_avg_cycles",
+              "latency_sd_cycles", "latency_p99_cycles",
+              "accepted_flits_node_cycle", "deadlock_pct", "avg_queue_len",
+              "fully_drained", "saturated"});
+  for (const auto& p : points) {
+    const auto& r = p.result;
+    csv.row(core::limiter_name(p.limiter), p.offered, r.latency_mean,
+            r.latency_stddev, r.latency_p99, r.accepted_flits_per_node_cycle,
+            r.deadlock_pct, r.avg_queue_len,
+            static_cast<int>(r.fully_drained), static_cast<int>(r.saturated));
+  }
+}
+
+std::vector<ReplicatedPoint> run_replicated_sweep(const SweepSpec& spec,
+                                                  unsigned replications) {
+  std::vector<ReplicatedPoint> points;
+  if (replications == 0) return points;
+  points.reserve(spec.limiters.size() * spec.offered_loads.size());
+  unsigned index = 0;
+  for (const auto limiter : spec.limiters) {
+    for (const double offered : spec.offered_loads) {
+      ReplicatedPoint agg;
+      agg.limiter = limiter;
+      agg.offered = offered;
+      agg.replications = replications;
+      for (unsigned rep = 0; rep < replications; ++rep) {
+        config::SimConfig cfg = spec.base;
+        cfg.sim.limiter.kind = limiter;
+        cfg.workload.offered_flits_per_node_cycle = offered;
+        cfg.seed = spec.base.seed + 0x9e3779b9ULL * ++index;
+        const metrics::SimResult r = config::run_experiment(cfg);
+        agg.latency.add(r.latency_mean);
+        agg.accepted.add(r.accepted_flits_per_node_cycle);
+        agg.deadlock_pct.add(r.deadlock_pct);
+        if (spec.on_point) spec.on_point(SweepPoint{limiter, offered, r});
+      }
+      points.push_back(std::move(agg));
+    }
+  }
+  return points;
+}
+
+void write_replicated_csv(std::ostream& out,
+                          const std::vector<ReplicatedPoint>& points) {
+  util::CsvWriter csv(out);
+  csv.header({"mechanism", "offered_flits_node_cycle", "replications",
+              "latency_mean", "latency_run_sd", "accepted_mean",
+              "accepted_run_sd", "deadlock_pct_mean", "deadlock_pct_run_sd"});
+  for (const auto& p : points) {
+    csv.row(core::limiter_name(p.limiter), p.offered, p.replications,
+            p.latency.mean(), std::sqrt(p.latency.sample_variance()),
+            p.accepted.mean(), std::sqrt(p.accepted.sample_variance()),
+            p.deadlock_pct.mean(),
+            std::sqrt(p.deadlock_pct.sample_variance()));
+  }
+}
+
+std::vector<double> load_range(double lo, double hi, unsigned points) {
+  std::vector<double> out;
+  if (points == 0) return out;
+  if (points == 1) {
+    out.push_back(lo);
+    return out;
+  }
+  out.reserve(points);
+  for (unsigned i = 0; i < points; ++i) {
+    out.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                           static_cast<double>(points - 1));
+  }
+  return out;
+}
+
+void apply_common_flags(config::SimConfig& cfg, const util::ArgParser& args) {
+  cfg.k = static_cast<unsigned>(args.get_uint("k", cfg.k));
+  cfg.n = static_cast<unsigned>(args.get_uint("n", cfg.n));
+  cfg.sim.net.num_vcs =
+      static_cast<unsigned>(args.get_uint("vcs", cfg.sim.net.num_vcs));
+  cfg.sim.net.buf_flits =
+      static_cast<unsigned>(args.get_uint("buf", cfg.sim.net.buf_flits));
+  cfg.workload.length.fixed = static_cast<std::uint32_t>(
+      args.get_uint("msg-len", cfg.workload.length.fixed));
+  if (auto p = args.get("pattern")) {
+    cfg.workload.pattern = traffic::parse_pattern(*p);
+  }
+  if (auto r = args.get("routing")) {
+    cfg.sim.algorithm = routing::parse_algorithm(*r);
+  }
+  if (auto s = args.get("selection")) {
+    cfg.sim.selection = routing::parse_selection(*s);
+  }
+  cfg.sim.detection.threshold = static_cast<std::uint32_t>(
+      args.get_uint("deadlock-threshold", cfg.sim.detection.threshold));
+  cfg.protocol.warmup = args.get_uint("warmup", cfg.protocol.warmup);
+  cfg.protocol.measure = args.get_uint("measure", cfg.protocol.measure);
+  cfg.protocol.drain_max = args.get_uint("drain", cfg.protocol.drain_max);
+  cfg.seed = args.get_uint("seed", cfg.seed);
+}
+
+void apply_scale_env(config::SimConfig& cfg) {
+  const char* fast = std::getenv("WORMSIM_FAST");
+  if (fast && fast[0] == '1') {
+    cfg.n = 2;  // 64-node torus
+    cfg.protocol.warmup = std::min<std::uint64_t>(cfg.protocol.warmup, 3000);
+    cfg.protocol.measure =
+        std::min<std::uint64_t>(cfg.protocol.measure, 10000);
+    cfg.protocol.drain_max =
+        std::min<std::uint64_t>(cfg.protocol.drain_max, 10000);
+  }
+}
+
+std::string describe(const config::SimConfig& cfg) {
+  std::ostringstream os;
+  const topo::KAryNCube t(cfg.k, cfg.n);
+  os << "# " << cfg.k << "-ary " << cfg.n << "-cube (" << t.num_nodes()
+     << " nodes), " << cfg.sim.net.num_vcs << " VCs x "
+     << cfg.sim.net.buf_flits << "-flit buffers, routing="
+     << routing::algorithm_name(cfg.sim.algorithm)
+     << ", selection=" << routing::selection_name(cfg.sim.selection)
+     << ", pattern=" << traffic::pattern_name(cfg.workload.pattern)
+     << ", msg=" << cfg.workload.length.fixed << " flits"
+     << ", detect=" << cfg.sim.detection.threshold << " cycles"
+     << ", warmup=" << cfg.protocol.warmup
+     << ", measure=" << cfg.protocol.measure << ", seed=" << cfg.seed;
+  return os.str();
+}
+
+}  // namespace wormsim::harness

@@ -1,0 +1,81 @@
+// Offered-load sweep harness shared by the figure benches and examples.
+//
+// A sweep runs one simulation per (limiter, offered-load) point and
+// prints CSV rows compatible with the paper's figures: latency and
+// accepted traffic versus offered traffic, per mechanism.
+//
+// Scale control: `apply_scale_env` honours WORMSIM_FAST=1 (shrink to the
+// 64-node small preset and shorten the windows) so the full bench suite
+// stays runnable on modest machines; the committed outputs record which
+// mode produced them.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "config/presets.hpp"
+#include "metrics/collector.hpp"
+#include "util/stats.hpp"
+#include "util/cli.hpp"
+
+namespace wormsim::harness {
+
+struct SweepPoint {
+  core::LimiterKind limiter;
+  double offered;
+  metrics::SimResult result;
+};
+
+struct SweepSpec {
+  config::SimConfig base;
+  std::vector<core::LimiterKind> limiters;
+  std::vector<double> offered_loads;
+  /// Called after each point (progress reporting); may be empty.
+  std::function<void(const SweepPoint&)> on_point;
+};
+
+/// Run every (limiter, load) combination; each point uses a fresh
+/// simulator seeded deterministically from the base seed.
+std::vector<SweepPoint> run_sweep(const SweepSpec& spec);
+
+/// Emit the standard figure CSV:
+/// mechanism,offered,latency_avg,latency_sd,accepted,deadlock_pct,...
+void write_sweep_csv(std::ostream& out, const std::vector<SweepPoint>& points);
+
+/// One sweep point aggregated over several independent seeds: reports
+/// mean and spread so figure shapes can be checked against run-to-run
+/// noise.
+struct ReplicatedPoint {
+  core::LimiterKind limiter;
+  double offered = 0.0;
+  unsigned replications = 0;
+  util::RunningStats latency;       // of per-run latency means
+  util::RunningStats accepted;      // of per-run accepted traffic
+  util::RunningStats deadlock_pct;  // of per-run deadlock percentages
+};
+
+/// Like run_sweep but each point is run `replications` times with
+/// decorrelated seeds.
+std::vector<ReplicatedPoint> run_replicated_sweep(const SweepSpec& spec,
+                                                  unsigned replications);
+
+/// CSV with mean and sample standard deviation per metric.
+void write_replicated_csv(std::ostream& out,
+                          const std::vector<ReplicatedPoint>& points);
+
+/// Evenly spaced loads in [lo, hi].
+std::vector<double> load_range(double lo, double hi, unsigned points);
+
+/// Apply command-line overrides (--k, --n, --vcs, --msg-len, --pattern,
+/// --warmup, --measure, --seed, ...) and the WORMSIM_FAST environment
+/// switch to a base config. Used by every bench binary so they share
+/// flags.
+void apply_common_flags(config::SimConfig& cfg, const util::ArgParser& args);
+void apply_scale_env(config::SimConfig& cfg);
+
+/// Human banner describing a config (topology, router, workload).
+std::string describe(const config::SimConfig& cfg);
+
+}  // namespace wormsim::harness

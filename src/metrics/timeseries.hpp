@@ -1,0 +1,69 @@
+// Per-interval time series of network behaviour: lets studies see the
+// *transient* dynamics (burst onsets, saturation collapse, recovery)
+// that whole-run averages hide.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace wormsim::metrics {
+
+class TimeSeries {
+ public:
+  struct Interval {
+    std::uint64_t start_cycle = 0;
+    std::uint64_t flits_ejected = 0;
+    std::uint64_t messages_injected = 0;
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t deadlock_detections = 0;
+    util::RunningStats latency;     // of deliveries in this interval
+    std::uint64_t queue_total = 0;  // sampled at interval end
+  };
+
+  explicit TimeSeries(std::uint64_t interval_cycles)
+      : interval_(interval_cycles ? interval_cycles : 1) {}
+
+  std::uint64_t interval_cycles() const noexcept { return interval_; }
+
+  void on_flits_ejected(std::uint64_t cycle, std::uint32_t count) {
+    at(cycle).flits_ejected += count;
+  }
+  void on_injected(std::uint64_t cycle) { ++at(cycle).messages_injected; }
+  void on_delivered(std::uint64_t cycle, double latency) {
+    Interval& iv = at(cycle);
+    ++iv.messages_delivered;
+    iv.latency.add(latency);
+  }
+  void on_deadlock(std::uint64_t cycle) { ++at(cycle).deadlock_detections; }
+  void on_queue_sample(std::uint64_t cycle, std::uint64_t total) {
+    at(cycle).queue_total = total;
+  }
+
+  const std::vector<Interval>& intervals() const noexcept {
+    return intervals_;
+  }
+
+  /// Accepted traffic of one interval in flits/node/cycle.
+  double accepted(std::size_t index, std::uint32_t num_nodes) const {
+    return static_cast<double>(intervals_[index].flits_ejected) /
+           (static_cast<double>(interval_) * num_nodes);
+  }
+
+ private:
+  Interval& at(std::uint64_t cycle) {
+    const std::size_t index = cycle / interval_;
+    while (intervals_.size() <= index) {
+      Interval iv;
+      iv.start_cycle = intervals_.size() * interval_;
+      intervals_.push_back(iv);
+    }
+    return intervals_[index];
+  }
+
+  std::uint64_t interval_;
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace wormsim::metrics

@@ -1,0 +1,89 @@
+// Routing functions.
+//
+// All routing here is minimal: a candidate always moves the message
+// closer to its destination. Three algorithms are provided:
+//
+//  * TFAR  — True Fully Adaptive Routing [Martínez et al. ICPP'97], the
+//            paper's §4.1 choice: any virtual channel of any useful
+//            physical channel. Not deadlock-free on its own; pairs with
+//            deadlock detection + recovery.
+//  * DOR   — deterministic dimension-order routing, made deadlock-free
+//            on the torus with Dally/Seitz dateline virtual-channel
+//            classes (class 0 = VC 0 before the wraparound, class 1 =
+//            the remaining VCs after it).
+//  * Duato — Duato's deadlock-avoidance protocol: fully adaptive minimal
+//            routing on the "adaptive" VCs (2..V-1) plus an escape layer
+//            (VCs 0..1) that implements dateline DOR. Requires >= 3 VCs.
+//
+// A routing function returns an ordered candidate list (adaptive
+// candidates first, escape candidates last) plus the mask of useful
+// physical channels that the ALO injection-limitation mechanism needs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "topology/kary_ncube.hpp"
+#include "util/small_vector.hpp"
+
+namespace wormsim::routing {
+
+enum class Algorithm { TFAR, DOR, Duato };
+
+Algorithm parse_algorithm(std::string_view name);
+std::string_view algorithm_name(Algorithm a);
+
+/// One admissible (physical channel, virtual channel set) option.
+struct Candidate {
+  topo::ChannelId channel = 0;
+  std::uint32_t vc_mask = 0;  // usable VCs on that physical channel
+  bool escape = false;        // escape-layer candidate (Duato only)
+};
+
+struct RouteResult {
+  util::SmallVector<Candidate, 2 * topo::kMaxDims + 2> candidates;
+  /// All physical channels that move the message closer to its
+  /// destination, regardless of VC restrictions — the "useful physical
+  /// output channels" the ALO mechanism inspects.
+  std::uint32_t useful_phys_mask = 0;
+
+  void clear() noexcept {
+    candidates.clear();
+    useful_phys_mask = 0;
+  }
+};
+
+class RoutingFunction {
+ public:
+  virtual ~RoutingFunction() = default;
+
+  /// Candidates for a message currently at `here` destined to `dst`
+  /// (`here != dst`). `out` is cleared first.
+  virtual void route(topo::NodeId here, topo::NodeId dst,
+                     RouteResult& out) const = 0;
+
+  virtual Algorithm algorithm() const noexcept = 0;
+  /// True if the routing function admits cyclic channel dependencies
+  /// and therefore requires a deadlock detection/recovery mechanism.
+  virtual bool needs_deadlock_recovery() const noexcept = 0;
+  unsigned num_vcs() const noexcept { return num_vcs_; }
+
+ protected:
+  RoutingFunction(const topo::KAryNCube& topo, unsigned num_vcs)
+      : topo_(&topo), num_vcs_(num_vcs) {}
+  const topo::KAryNCube& topo() const noexcept { return *topo_; }
+  std::uint32_t all_vcs_mask() const noexcept {
+    return (1u << num_vcs_) - 1u;
+  }
+
+ private:
+  const topo::KAryNCube* topo_;
+  unsigned num_vcs_;
+};
+
+std::unique_ptr<RoutingFunction> make_routing(Algorithm a,
+                                              const topo::KAryNCube& topo,
+                                              unsigned num_vcs);
+
+}  // namespace wormsim::routing

@@ -1,0 +1,156 @@
+#include "sim/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wormsim::sim {
+
+Network::Network(const topo::KAryNCube& topo, const NetworkParams& params)
+    : topo_(&topo), params_(params) {
+  if (params.num_vcs < 1 || params.num_vcs > 8) {
+    throw std::invalid_argument("num_vcs must be in [1, 8]");
+  }
+  if (params.buf_flits < 1 || params.buf_flits > 255) {
+    throw std::invalid_argument("buf_flits must be in [1, 255]");
+  }
+  if (params.inj_channels < 1 || params.eje_channels < 1) {
+    throw std::invalid_argument("need >= 1 injection and ejection channel");
+  }
+  if (params.link_delay < 1 || params.link_delay > InFlightQueue::kMaxDelay) {
+    throw std::invalid_argument("link_delay out of range");
+  }
+
+  const NodeId nodes = topo.num_nodes();
+  num_net_links_ = nodes * topo.num_channels();
+  num_inj_links_ = nodes * params.inj_channels;
+  net_vc_count_ = static_cast<std::size_t>(num_net_links_) * params.num_vcs;
+
+  links_.resize(num_net_links_ + num_inj_links_);
+  vcs_.resize(net_vc_count_ + num_inj_links_);
+  eject_.resize(static_cast<std::size_t>(nodes) * params.eje_channels);
+
+  for (NodeId node = 0; node < nodes; ++node) {
+    for (unsigned c = 0; c < topo.num_channels(); ++c) {
+      Link& l = links_[net_link(node, static_cast<ChannelId>(c))];
+      l.src = node;
+      l.src_channel = static_cast<ChannelId>(c);
+      l.dst = topo.neighbor(node, static_cast<ChannelId>(c));
+    }
+    for (unsigned i = 0; i < params.inj_channels; ++i) {
+      Link& l = links_[inj_link(node, i)];
+      l.src = topo::kInvalidNode;
+      l.dst = node;
+    }
+  }
+}
+
+std::uint32_t Network::free_vc_mask(NodeId node, ChannelId c) const {
+  const Link& l = links_[net_link(node, c)];
+  // A VC is free iff unallocated; tenancy implies the active bit.
+  return static_cast<std::uint32_t>(~l.active_vc_mask) &
+         ((1u << params_.num_vcs) - 1u);
+}
+
+int Network::find_free_eject_port(NodeId node) const noexcept {
+  for (unsigned p = 0; p < params_.eje_channels; ++p) {
+    if (!eject_port(node, p).busy()) return static_cast<int>(p);
+  }
+  return -1;
+}
+
+int Network::find_free_inj_channel(NodeId node) const noexcept {
+  for (unsigned i = 0; i < params_.inj_channels; ++i) {
+    if (vc({inj_link(node, i), 0}).free()) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Network::quiescent() const noexcept {
+  for (const auto& l : links_) {
+    if (l.active_vc_mask != 0 || !l.in_flight.empty()) return false;
+  }
+  for (const auto& p : eject_) {
+    if (p.busy()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Network::flits_in_network() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& v : vcs_) {
+    if (!v.free()) total += v.buffered();
+  }
+  for (const auto& l : links_) total += l.in_flight.size();
+  return total;
+}
+
+void Network::set_active(VcRef ref, bool active) noexcept {
+  Link& l = links_[ref.link];
+  if (active) {
+    l.active_vc_mask |= static_cast<std::uint8_t>(1u << ref.vc);
+  } else {
+    l.active_vc_mask &= static_cast<std::uint8_t>(~(1u << ref.vc));
+  }
+}
+
+void Network::allocate_out_vc(VcRef from, VcRef out, MsgId msg,
+                              Cycle now) noexcept {
+  VcState& upstream = vc(from);
+  VcState& downstream = vc(out);
+  assert(downstream.free() && downstream.occupancy == 0);
+  downstream.clear();
+  downstream.msg = msg;
+  downstream.upstream = from;
+  downstream.last_activity = now;  // fresh tenancy counts as activity
+  upstream.out_kind = VcState::OutKind::Vc;
+  upstream.out = out;
+  set_active(out, true);
+}
+
+void Network::bind_eject(VcRef from, NodeId node, unsigned port,
+                         MsgId msg) noexcept {
+  VcState& upstream = vc(from);
+  EjectPort& p = eject_port(node, port);
+  assert(!p.busy());
+  p.msg = msg;
+  p.src = from;
+  upstream.out_kind = VcState::OutKind::Eject;
+  upstream.eject_port = static_cast<std::uint8_t>(port);
+}
+
+bool Network::transmit_flit(VcRef from, std::uint32_t msg_length,
+                            Cycle now) noexcept {
+  VcState& u = vc(from);
+  assert(u.buffered() > 0 && u.out_kind == VcState::OutKind::Vc);
+  VcState& d = vc(u.out);
+  assert(d.occupancy < params_.buf_flits);
+
+  Link& out_link = links_[u.out.link];
+  out_link.in_flight.push(now + params_.link_delay, u.out.vc, u.msg);
+  ++out_link.flits_carried;
+  ++d.occupancy;
+  ++u.out_count;
+  --u.occupancy;
+  u.last_activity = now;
+
+  if (u.out_count == msg_length) {
+    // Tail left: free this VC; downstream will receive no more flits
+    // from it.
+    d.upstream = VcRef{};
+    set_active(from, false);
+    u.clear();
+    return true;
+  }
+  return false;
+}
+
+void Network::force_free(VcRef ref) noexcept {
+  VcState& v = vc(ref);
+  if (v.out_kind == VcState::OutKind::Vc && vc(v.out).msg == v.msg) {
+    vc(v.out).upstream = VcRef{};
+  }
+  set_active(ref, false);
+  v.clear();
+}
+
+}  // namespace wormsim::sim

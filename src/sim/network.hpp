@@ -1,0 +1,152 @@
+// Network: flat state container for every link, VC buffer and ejection
+// port, with the status queries the routing selector and the injection
+// limiters consume. All control flow lives in Simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/limiter.hpp"
+#include "routing/selection.hpp"
+#include "sim/channel.hpp"
+#include "sim/types.hpp"
+#include "topology/kary_ncube.hpp"
+
+namespace wormsim::sim {
+
+struct NetworkParams {
+  unsigned num_vcs = 3;       // virtual channels per physical channel
+  unsigned buf_flits = 4;     // per-VC buffer depth
+  unsigned inj_channels = 4;  // injection channels per node
+  unsigned eje_channels = 4;  // ejection channels per node
+  unsigned link_delay = 2;    // crossbar + channel cycles per hop
+};
+
+class Network final : public core::ChannelStatus {
+ public:
+  Network(const topo::KAryNCube& topo, const NetworkParams& params);
+
+  // --- Identity / indexing -------------------------------------------
+  const topo::KAryNCube& topology() const noexcept { return *topo_; }
+  const NetworkParams& params() const noexcept { return params_; }
+
+  LinkId num_net_links() const noexcept { return num_net_links_; }
+  LinkId num_inj_links() const noexcept { return num_inj_links_; }
+  LinkId num_links() const noexcept { return num_net_links_ + num_inj_links_; }
+
+  LinkId net_link(NodeId node, ChannelId out_channel) const noexcept {
+    return node * topo_->num_channels() + out_channel;
+  }
+  LinkId inj_link(NodeId node, unsigned channel) const noexcept {
+    return num_net_links_ + node * params_.inj_channels +
+           static_cast<LinkId>(channel);
+  }
+  bool is_injection(LinkId link) const noexcept {
+    return link >= num_net_links_;
+  }
+  /// VCs on a link: params.num_vcs for network links, 1 for injection.
+  unsigned vcs_on(LinkId link) const noexcept {
+    return is_injection(link) ? 1u : params_.num_vcs;
+  }
+
+  Link& link(LinkId id) noexcept { return links_[id]; }
+  const Link& link(LinkId id) const noexcept { return links_[id]; }
+
+  VcState& vc(VcRef ref) noexcept { return vcs_[vc_index(ref)]; }
+  const VcState& vc(VcRef ref) const noexcept { return vcs_[vc_index(ref)]; }
+
+  EjectPort& eject_port(NodeId node, unsigned port) noexcept {
+    return eject_[node * params_.eje_channels + port];
+  }
+  const EjectPort& eject_port(NodeId node, unsigned port) const noexcept {
+    return eject_[node * params_.eje_channels + port];
+  }
+
+  // --- Status queries --------------------------------------------------
+  // core::ChannelStatus: the per-node virtual output channel register.
+  unsigned num_phys_channels() const override { return topo_->num_channels(); }
+  unsigned num_vcs() const override { return params_.num_vcs; }
+  std::uint32_t free_vc_mask(NodeId node, ChannelId c) const override;
+
+  /// Index of a free ejection port at `node`, or -1.
+  int find_free_eject_port(NodeId node) const noexcept;
+  /// Index of an injection link at `node` whose VC is free, or -1.
+  int find_free_inj_channel(NodeId node) const noexcept;
+
+  /// Every VC in the network idle, every pipeline empty (used by drain
+  /// checks and tests).
+  bool quiescent() const noexcept;
+
+  /// Total flits currently buffered plus in flight (invariant checks).
+  std::uint64_t flits_in_network() const noexcept;
+
+  // --- State mutation helpers ------------------------------------------
+  /// Claim downstream VC `out` for `msg`, linking it after `from`.
+  void allocate_out_vc(VcRef from, VcRef out, MsgId msg, Cycle now) noexcept;
+  /// Bind the worm ending at `from` to ejection port `port` of its
+  /// destination node.
+  void bind_eject(VcRef from, NodeId node, unsigned port, MsgId msg) noexcept;
+  /// Move one flit out of `from` along its allocated output. The caller
+  /// has checked transmissibility. Returns true if the tail left `from`
+  /// (the VC was freed).
+  bool transmit_flit(VcRef from, std::uint32_t msg_length, Cycle now) noexcept;
+  /// Deliver arrived in-flight flits for `link` up to cycle `now`,
+  /// invoking `on_header(VcRef)` for each header flit that enters an
+  /// empty buffer (so the simulator can enroll it for routing).
+  template <typename OnNewHeader>
+  void process_arrivals(LinkId link_id, Cycle now, OnNewHeader&& on_header) {
+    Link& l = links_[link_id];
+    while (!l.in_flight.empty() && l.in_flight.front().arrival <= now) {
+      const auto entry = l.in_flight.front();
+      VcState& v = vc({link_id, entry.vc});
+      assert(v.msg == entry.msg);
+      if (v.in_count == 0) {
+        v.header_arrival = now;
+        on_header(VcRef{link_id, entry.vc});
+      }
+      ++v.in_count;
+      v.last_activity = now;
+      l.in_flight.pop();
+    }
+  }
+  /// Free one VC unconditionally (deadlock absorption).
+  void force_free(VcRef ref) noexcept;
+
+  /// Mark/unmark tenancy in the link's active mask.
+  void set_active(VcRef ref, bool active) noexcept;
+
+ private:
+  std::size_t vc_index(VcRef ref) const noexcept {
+    if (ref.link < num_net_links_) {
+      return static_cast<std::size_t>(ref.link) * params_.num_vcs + ref.vc;
+    }
+    return net_vc_count_ + (ref.link - num_net_links_);
+  }
+
+  const topo::KAryNCube* topo_;
+  NetworkParams params_;
+  LinkId num_net_links_ = 0;
+  LinkId num_inj_links_ = 0;
+  std::size_t net_vc_count_ = 0;
+
+  std::vector<Link> links_;
+  std::vector<VcState> vcs_;
+  std::vector<EjectPort> eject_;
+};
+
+/// Adapter giving the routing Selector a per-node view of free output
+/// VCs (stack-allocated in the allocation loop).
+class NodeFreeVcView final : public routing::FreeVcView {
+ public:
+  NodeFreeVcView(const Network& net, NodeId node) noexcept
+      : net_(&net), node_(node) {}
+  std::uint32_t free_vc_mask(ChannelId channel) const override {
+    return net_->free_vc_mask(node_, channel);
+  }
+
+ private:
+  const Network* net_;
+  NodeId node_;
+};
+
+}  // namespace wormsim::sim

@@ -1,0 +1,425 @@
+#include "sim/simulator.hpp"
+
+#include <bit>
+#include <cassert>
+#include <chrono>
+#include <limits>
+
+#include "core/alo.hpp"
+
+namespace wormsim::sim {
+
+namespace {
+constexpr Cycle kForever = std::numeric_limits<Cycle>::max();
+constexpr Cycle kQueueSamplePeriod = 64;
+}  // namespace
+
+Simulator::Simulator(const topo::KAryNCube& topo, const SimulatorConfig& cfg,
+                     std::unique_ptr<traffic::Workload> workload)
+    : topo_(topo),
+      cfg_(cfg),
+      net_(topo_, cfg.net),
+      routing_(routing::make_routing(cfg.algorithm, topo_, cfg.net.num_vcs)),
+      selector_(cfg.selection),
+      limiter_(core::make_limiter(cfg.limiter, topo_.num_nodes())),
+      workload_(std::move(workload)),
+      recovery_(topo_.num_nodes()),
+      collector_(topo_.num_nodes(), 0, kForever),
+      queues_(topo_.num_nodes()),
+      head_since_(topo_.num_nodes(), 0),
+      alloc_rr_(topo_.num_nodes(), 0) {
+  if (cfg.routing_delay < 1 || cfg.routing_delay > 8) {
+    throw std::invalid_argument("routing_delay must be in [1, 8]");
+  }
+}
+
+std::size_t Simulator::source_queue_total() const noexcept {
+  std::size_t total = 0;
+  for (const auto& q : queues_) total += q.size();
+  return total;
+}
+
+bool Simulator::push_message(NodeId src, NodeId dst, std::uint32_t length) {
+  if (src == dst || length == 0) return false;
+  queues_[src].push_back(
+      {dst, length, cycle_, collector_.in_window(cycle_)});
+  if (queues_[src].size() == 1) head_since_[src] = cycle_;
+  collector_.on_generated(cycle_);
+  return true;
+}
+
+void Simulator::step() {
+  const Cycle t = cycle_;
+  phase_generate(t);
+  phase_arrivals(t);
+  phase_eject(t);
+  phase_route(t);
+  phase_transmit(t);
+  phase_inject(t);
+  if (t % kQueueSamplePeriod == 0) {
+    const std::size_t total = source_queue_total();
+    collector_.on_queue_sample(total);
+    if (timeseries_) timeseries_->on_queue_sample(t, total);
+  }
+  ++cycle_;
+}
+
+void Simulator::phase_generate(Cycle t) {
+  if (!workload_) return;
+  const NodeId nodes = topo_.num_nodes();
+  for (NodeId node = 0; node < nodes; ++node) {
+    gen_buf_.clear();
+    workload_->poll(node, t, gen_buf_);
+    for (const auto& g : gen_buf_) {
+      queues_[node].push_back({g.dst, g.length_flits, t,
+                               collector_.in_window(t)});
+      if (queues_[node].size() == 1) head_since_[node] = t;
+      collector_.on_generated(t);
+    }
+  }
+}
+
+void Simulator::phase_arrivals(Cycle t) {
+  const LinkId n = net_.num_net_links();
+  for (LinkId l = 0; l < n; ++l) {
+    if (net_.link(l).in_flight.empty()) continue;
+    net_.process_arrivals(l, t, [this](VcRef ref) { enroll_for_routing(ref); });
+  }
+}
+
+void Simulator::enroll_for_routing(VcRef ref) {
+  VcState& v = net_.vc(ref);
+  if (!v.pending_route) {
+    v.pending_route = true;
+    pending_route_.push_back(ref);
+  }
+}
+
+void Simulator::phase_eject(Cycle t) {
+  const NodeId nodes = topo_.num_nodes();
+  const unsigned ports = net_.params().eje_channels;
+  for (NodeId node = 0; node < nodes; ++node) {
+    for (unsigned p = 0; p < ports; ++p) {
+      EjectPort& port = net_.eject_port(node, p);
+      if (!port.busy()) continue;
+      VcState& u = net_.vc(port.src);
+      if (u.buffered() == 0) continue;
+      Message& m = pool_[port.msg];
+      ++u.out_count;
+      --u.occupancy;
+      u.last_activity = t;
+      m.last_progress = t;
+      collector_.on_flits_ejected(t, 1);
+      if (timeseries_) timeseries_->on_flits_ejected(t, 1);
+      if (u.out_count == m.length) {
+        net_.set_active(port.src, false);
+        u.clear();
+        const MsgId id = port.msg;
+        port.msg = kNoMsg;
+        port.src = VcRef{};
+        deliver(id, t);
+      }
+    }
+  }
+}
+
+void Simulator::phase_route(Cycle t) {
+  for (std::size_t i = 0; i < pending_route_.size();) {
+    const VcRef ref = pending_route_[i];
+    VcState& v = net_.vc(ref);
+    if (!v.pending_route) {
+      // Stale entry (the worm was absorbed by deadlock recovery).
+      pending_route_[i] = pending_route_.back();
+      pending_route_.pop_back();
+      continue;
+    }
+    if (t < v.header_arrival + cfg_.routing_delay) {
+      ++i;
+      continue;
+    }
+    Message& m = pool_[v.msg];
+    const NodeId node = net_.link(ref.link).dst;
+
+    if (node == m.dst) {
+      m.at_destination = true;
+      const int port = net_.find_free_eject_port(node);
+      if (port < 0) {
+        ++i;
+        continue;  // wait for an ejection channel
+      }
+      net_.bind_eject(ref, node, static_cast<unsigned>(port), v.msg);
+      m.last_progress = t;
+      v.pending_route = false;
+      pending_route_[i] = pending_route_.back();
+      pending_route_.pop_back();
+      continue;
+    }
+
+    routing_->route(node, m.dst, route_buf_);
+    if (probe_enabled_ && !v.probed) {
+      v.probed = true;
+      const auto cond =
+          core::evaluate_alo(net_, node, route_buf_.useful_phys_mask);
+      collector_.on_probe(t, cond.all_useful_partially_free,
+                          cond.any_useful_completely_free);
+    }
+    const NodeFreeVcView view(net_, node);
+    const auto pick = selector_.select(route_buf_, view, alloc_rr_[node]);
+    if (!pick) {
+      // Blocked. FC3D-style deadlock presumption: the header has waited
+      // at least `threshold` cycles, no flit of the message has moved,
+      // and every virtual channel the routing function offers has shown
+      // no flow-control activity for `threshold` cycles either — i.e.
+      // the messages holding them are frozen too. Headers still inside
+      // an injection channel hold no network resources and are exempt.
+      if (cfg_.detection.enabled && !net_.is_injection(ref.link) &&
+          t - v.header_arrival >= cfg_.detection.threshold &&
+          t - m.last_progress >= cfg_.detection.threshold &&
+          requested_channels_frozen(node, t)) {
+        absorb_deadlocked(v.msg, t);
+        pending_route_[i] = pending_route_.back();
+        pending_route_.pop_back();
+        continue;
+      }
+      ++i;
+      continue;  // retry next cycle
+    }
+    ++alloc_rr_[node];
+    const VcRef out{net_.net_link(node, pick->channel), pick->vc};
+    net_.allocate_out_vc(ref, out, v.msg, t);
+    m.head = out;
+    m.entered_network = true;
+    m.last_progress = t;
+    v.pending_route = false;
+    pending_route_[i] = pending_route_.back();
+    pending_route_.pop_back();
+  }
+}
+
+void Simulator::phase_transmit(Cycle t) {
+  const LinkId n = net_.num_net_links();
+  const unsigned vcs = net_.params().num_vcs;
+  const unsigned cap = net_.params().buf_flits;
+  for (LinkId l = 0; l < n; ++l) {
+    Link& link = net_.link(l);
+    if (link.active_vc_mask == 0) continue;
+    // Round-robin across this physical channel's allocated VCs: pick the
+    // first whose upstream buffer has a flit and whose own buffer has
+    // room.
+    for (unsigned j = 0; j < vcs; ++j) {
+      const auto vcn = static_cast<std::uint8_t>((link.rr_next + j) % vcs);
+      if (!(link.active_vc_mask & (1u << vcn))) continue;
+      const VcRef ref{l, vcn};
+      VcState& w = net_.vc(ref);
+      if (w.occupancy >= cap) continue;
+      if (!w.upstream.valid()) continue;
+      VcState& u = net_.vc(w.upstream);
+      if (u.buffered() == 0) continue;
+      assert(u.out_kind == VcState::OutKind::Vc && u.out == ref);
+      Message& m = pool_[w.msg];
+      net_.transmit_flit(w.upstream, m.length, t);
+      m.last_progress = t;
+      link.rr_next = static_cast<std::uint8_t>((vcn + 1) % vcs);
+      break;  // one flit per physical link per cycle
+    }
+  }
+}
+
+void Simulator::start_injection(NodeId node, unsigned inj_channel, MsgId id,
+                                Cycle t) {
+  const VcRef ref{net_.inj_link(node, inj_channel), 0};
+  VcState& v = net_.vc(ref);
+  assert(v.free());
+  v.clear();
+  v.msg = id;
+  v.in_count = 1;  // the header flit is written immediately
+  v.occupancy = 1;
+  v.header_arrival = t;
+  net_.set_active(ref, true);
+
+  Message& m = pool_[id];
+  m.head = ref;
+  m.in_network = true;
+  m.at_destination = false;
+  m.entered_network = false;
+  m.last_progress = t;
+  m.inject_time = t;
+  enroll_for_routing(ref);
+}
+
+void Simulator::phase_inject(Cycle t) {
+  const NodeId nodes = topo_.num_nodes();
+  const unsigned inj = net_.params().inj_channels;
+  const unsigned cap = net_.params().buf_flits;
+
+  for (NodeId node = 0; node < nodes; ++node) {
+    // 1. Stream body flits of messages already owning an injection
+    //    channel (one flit per channel per cycle, space permitting).
+    for (unsigned i = 0; i < inj; ++i) {
+      const VcRef ref{net_.inj_link(node, i), 0};
+      VcState& v = net_.vc(ref);
+      if (v.free()) continue;
+      Message& m = pool_[v.msg];
+      if (v.in_count < m.length && v.occupancy < cap) {
+        ++v.in_count;
+        ++v.occupancy;
+        m.last_progress = t;
+      }
+    }
+
+    // 2. Start new tenancies on free injection channels: absorbed
+    //    (deadlock-recovered) messages first — they were already in the
+    //    network and bypass the injection limiter — then the source
+    //    queue in FIFO order (the paper: queued messages have priority
+    //    over newer ones).
+    while (true) {
+      const int ch = net_.find_free_inj_channel(node);
+      if (ch < 0) break;
+
+      if (recovery_.has_ready(node, t)) {
+        const MsgId id = recovery_.pop(node);
+        start_injection(node, static_cast<unsigned>(ch), id, t);
+        continue;
+      }
+
+      if (queues_[node].empty()) break;
+      const PendingMessage& pm = queues_[node].front();
+
+      routing_->route(node, pm.dst, route_buf_);
+      core::InjectionRequest req;
+      req.node = node;
+      req.dst = pm.dst;
+      req.length_flits = pm.length;
+      req.route = &route_buf_;
+      req.cycle = t;
+      req.head_wait = t - head_since_[node];
+      req.queue_len = queues_[node].size();
+      if (!limiter_->allow(req, net_)) break;  // FIFO: head blocks the rest
+
+      const MsgId id = pool_.allocate();
+      Message& m = pool_[id];
+      m.src = node;
+      m.dst = pm.dst;
+      m.length = pm.length;
+      m.gen_time = pm.gen_time;
+      m.measured = pm.measured;
+      queues_[node].pop_front();
+      head_since_[node] = t;
+
+      activate(id);
+      start_injection(node, static_cast<unsigned>(ch), id, t);
+      collector_.on_injected(node, t, /*counts_fairness=*/true);
+      if (timeseries_) timeseries_->on_injected(t);
+      limiter_->on_injected(node, t);
+    }
+  }
+}
+
+bool Simulator::requested_channels_frozen(NodeId node, Cycle t) const {
+  const Cycle threshold = cfg_.detection.threshold;
+  for (const auto& cand : route_buf_.candidates) {
+    const LinkId out_link = net_.net_link(node, cand.channel);
+    std::uint32_t vcs = cand.vc_mask;
+    while (vcs) {
+      const auto v = static_cast<std::uint8_t>(std::countr_zero(vcs));
+      vcs &= vcs - 1;
+      const VcState& w = net_.vc({out_link, v});
+      // A free VC here would have made allocation succeed; a busy one
+      // with recent flit movement means the holder is alive.
+      if (t - w.last_activity < threshold) return false;
+    }
+  }
+  return true;
+}
+
+void Simulator::absorb_deadlocked(MsgId id, Cycle t) {
+  Message& m = pool_[id];
+  ++m.deadlock_detections;
+  ++deadlock_events_;
+  collector_.on_deadlock(t);
+  if (timeseries_) timeseries_->on_deadlock(t);
+
+  const NodeId absorb_node = net_.link(m.head.link).dst;
+  VcRef cur = m.head;
+  while (cur.valid()) {
+    const VcRef up = net_.vc(cur).upstream;
+    net_.link(cur.link).in_flight.drop_message(id);
+    net_.vc(cur).pending_route = false;  // lazily dropped from the list
+    net_.force_free(cur);
+    cur = up;
+  }
+
+  m.head = VcRef{};
+  m.in_network = false;
+  m.at_destination = false;
+  m.entered_network = false;
+  m.last_progress = t;
+  recovery_.enqueue(absorb_node, id,
+                    t + cfg_.recovery.base_delay + m.length);
+}
+
+void Simulator::deliver(MsgId id, Cycle t) {
+  const Message& m = pool_[id];
+  collector_.on_delivered(m.gen_time, t, m.measured);
+  if (timeseries_) {
+    timeseries_->on_delivered(t, static_cast<double>(t - m.gen_time));
+  }
+  ++delivered_;
+  deactivate(id);
+  pool_.release(id);
+}
+
+void Simulator::activate(MsgId id) {
+  pool_[id].active_pos = static_cast<std::uint32_t>(active_.size());
+  active_.push_back(id);
+}
+
+void Simulator::deactivate(MsgId id) {
+  const std::uint32_t pos = pool_[id].active_pos;
+  const MsgId last = active_.back();
+  active_[pos] = last;
+  pool_[last].active_pos = pos;
+  active_.pop_back();
+}
+
+metrics::SimResult Simulator::run(const RunProtocol& protocol) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  collector_ = metrics::Collector(topo_.num_nodes(), cycle_ + protocol.warmup,
+                                  cycle_ + protocol.warmup + protocol.measure);
+  const Cycle measure_end = cycle_ + protocol.warmup + protocol.measure;
+  const std::size_t queue_at_start = source_queue_total();
+  while (cycle_ < measure_end) step();
+  const std::size_t queue_at_measure_end = source_queue_total();
+
+  const Cycle drain_end = measure_end + protocol.drain_max;
+  while (cycle_ < drain_end &&
+         collector_.measured_delivered() < collector_.measured_generated()) {
+    step();
+  }
+
+  metrics::SimResult r = collector_.finish(topo_.num_nodes());
+  r.warmup_cycles = protocol.warmup;
+  r.measure_cycles = protocol.measure;
+  r.total_cycles = cycle_;
+  r.fully_drained =
+      collector_.measured_delivered() >= collector_.measured_generated();
+  // Heuristic saturation flag: source queues grew substantially during
+  // the measurement window.
+  r.saturated = queue_at_measure_end >
+                queue_at_start + topo_.num_nodes() / 2 + 8;
+  r.limiter = std::string(core::limiter_name(cfg_.limiter.kind));
+  if (workload_) {
+    r.pattern = std::string(
+        traffic::pattern_name(workload_->config().pattern));
+    r.offered_flits_per_node_cycle =
+        workload_->config().offered_flits_per_node_cycle;
+    r.message_length = workload_->config().length.fixed;
+  }
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return r;
+}
+
+}  // namespace wormsim::sim

@@ -1,0 +1,185 @@
+// Cycle-accurate wormhole simulator.
+//
+// Timing model (paper §4.1: routing, crossbar and channel each take one
+// cycle):
+//   * a header arriving at a router input becomes routable after
+//     `routing_delay` cycles (default 1);
+//   * a granted flit reaches the next router's buffer `link_delay`
+//     cycles after leaving (default 2 = crossbar + channel);
+//   * each physical link carries at most one flit per cycle; virtual
+//     channels multiplex it demand-slotted with round-robin arbitration;
+//   * ejection ports consume one flit per cycle.
+// Per-hop header latency is therefore routing_delay + link_delay = 3
+// cycles, with data flits pipelined at one flit/cycle.
+//
+// Phase order within a cycle: generate → arrivals → eject → route →
+// transmit → inject → detect. A flit can arrive and be forwarded in the
+// same cycle (pipelining); a header routed in `route` sends its first
+// flit in the same cycle's `transmit`.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/limiter.hpp"
+#include "deadlock/detection.hpp"
+#include "deadlock/recovery.hpp"
+#include "metrics/collector.hpp"
+#include "metrics/timeseries.hpp"
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+#include "sim/message.hpp"
+#include "sim/network.hpp"
+#include "traffic/workload.hpp"
+
+namespace wormsim::sim {
+
+struct SimulatorConfig {
+  NetworkParams net{};
+  routing::Algorithm algorithm = routing::Algorithm::TFAR;
+  routing::SelectionPolicy selection = routing::SelectionPolicy::MaxFreeVcs;
+  unsigned routing_delay = 1;
+  core::LimiterConfig limiter{};
+  deadlock::DetectionConfig detection{};
+  deadlock::RecoveryConfig recovery{};
+  std::uint64_t seed = 1;
+};
+
+/// Warm-up / measurement / drain protocol for one run.
+struct RunProtocol {
+  Cycle warmup = 5000;
+  Cycle measure = 20000;
+  /// Extra cycles (with traffic still flowing) allowed for measured
+  /// messages to drain before the run is cut off.
+  Cycle drain_max = 30000;
+};
+
+class Simulator {
+ public:
+  /// `workload` may be null: no autonomous traffic (tests drive the
+  /// network through push_message()).
+  Simulator(const topo::KAryNCube& topo, const SimulatorConfig& cfg,
+            std::unique_ptr<traffic::Workload> workload);
+  // Network and the routing function hold pointers into topo_.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // --- Driving ----------------------------------------------------------
+  void step();
+  void step_cycles(Cycle n) {
+    for (Cycle i = 0; i < n; ++i) step();
+  }
+  Cycle cycle() const noexcept { return cycle_; }
+
+  /// Enqueue one message directly at `src`'s source queue (test hook and
+  /// trace-driven workloads). Returns false for src == dst.
+  bool push_message(NodeId src, NodeId dst, std::uint32_t length);
+
+  /// Run the full warm-up / measure / drain protocol and summarize.
+  metrics::SimResult run(const RunProtocol& protocol);
+
+  // --- Introspection ----------------------------------------------------
+  const topo::KAryNCube& topology() const noexcept { return topo_; }
+  Network& network() noexcept { return net_; }
+  const Network& network() const noexcept { return net_; }
+  const routing::RoutingFunction& routing_function() const noexcept {
+    return *routing_;
+  }
+  core::InjectionLimiter& limiter() noexcept { return *limiter_; }
+  /// Replace the injection-limitation mechanism with a user-supplied
+  /// one (the extension seam for out-of-tree mechanisms); null is
+  /// ignored. Takes effect from the next cycle.
+  void set_limiter(std::unique_ptr<core::InjectionLimiter> limiter) {
+    if (limiter) limiter_ = std::move(limiter);
+  }
+  traffic::Workload* workload() noexcept { return workload_.get(); }
+  const metrics::Collector& collector() const noexcept { return collector_; }
+
+  /// Record per-interval dynamics (accepted traffic, latency, deadlocks,
+  /// queue depth) from now on; pass 0 to disable. Survives run().
+  void enable_timeseries(Cycle interval_cycles) {
+    timeseries_ = interval_cycles
+                      ? std::make_unique<metrics::TimeSeries>(interval_cycles)
+                      : nullptr;
+  }
+  const metrics::TimeSeries* timeseries() const noexcept {
+    return timeseries_.get();
+  }
+  const SimulatorConfig& config() const noexcept { return cfg_; }
+
+  std::size_t messages_in_flight() const noexcept { return active_.size(); }
+  std::size_t source_queue_len(NodeId node) const noexcept {
+    return queues_[node].size();
+  }
+  std::size_t source_queue_total() const noexcept;
+  std::size_t recovery_pending() const noexcept {
+    return recovery_.pending_total();
+  }
+  std::uint64_t total_deadlock_detections() const noexcept {
+    return deadlock_events_;
+  }
+  std::uint64_t total_delivered() const noexcept { return delivered_; }
+
+  /// All in-flight message ids (diagnostics/tests).
+  const std::vector<MsgId>& active_messages() const noexcept {
+    return active_;
+  }
+  const Message& message(MsgId id) const noexcept { return pool_[id]; }
+
+ private:
+  struct PendingMessage {
+    NodeId dst = 0;
+    std::uint32_t length = 0;
+    Cycle gen_time = 0;
+    bool measured = false;
+  };
+
+  void phase_generate(Cycle t);
+  void phase_arrivals(Cycle t);
+  void phase_eject(Cycle t);
+  void phase_route(Cycle t);
+  void phase_transmit(Cycle t);
+  void phase_inject(Cycle t);
+
+  /// FC3D condition: every VC the routing function offered has shown no
+  /// flow-control activity for the detection threshold. Reads the
+  /// candidates currently in route_buf_.
+  bool requested_channels_frozen(NodeId node, Cycle t) const;
+
+  void enroll_for_routing(VcRef ref);
+  void start_injection(NodeId node, unsigned inj_channel, MsgId id, Cycle t);
+  void absorb_deadlocked(MsgId id, Cycle t);
+  void deliver(MsgId id, Cycle t);
+  void activate(MsgId id);
+  void deactivate(MsgId id);
+
+  topo::KAryNCube topo_;
+  SimulatorConfig cfg_;
+  Network net_;
+  std::unique_ptr<routing::RoutingFunction> routing_;
+  routing::Selector selector_;
+  std::unique_ptr<core::InjectionLimiter> limiter_;
+  std::unique_ptr<traffic::Workload> workload_;
+  deadlock::RecoveryManager recovery_;
+  metrics::Collector collector_;
+  std::unique_ptr<metrics::TimeSeries> timeseries_;
+
+  MessagePool pool_;
+  std::vector<MsgId> active_;
+
+  std::vector<std::deque<PendingMessage>> queues_;
+  std::vector<Cycle> head_since_;     // cycle the current queue head became head
+  std::vector<std::uint32_t> alloc_rr_;  // per-node selector rotation
+
+  std::vector<VcRef> pending_route_;
+  routing::RouteResult route_buf_;
+  util::SmallVector<traffic::GeneratedMessage, 8> gen_buf_;
+
+  Cycle cycle_ = 0;
+  std::uint64_t deadlock_events_ = 0;
+  std::uint64_t delivered_ = 0;
+  bool probe_enabled_ = true;
+};
+
+}  // namespace wormsim::sim

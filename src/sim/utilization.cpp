@@ -1,0 +1,47 @@
+#include "sim/utilization.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace wormsim::sim {
+
+UtilizationSummary summarize_utilization(const Network& net,
+                                         std::uint64_t cycles) {
+  UtilizationSummary s;
+  if (cycles == 0 || net.num_net_links() == 0) return s;
+  const auto& topo = net.topology();
+  s.per_dim.assign(topo.dims(), 0.0);
+  std::vector<std::uint64_t> per_dim_links(topo.dims(), 0);
+
+  double sum = 0.0;
+  s.min = std::numeric_limits<double>::infinity();
+  std::uint64_t idle = 0;
+  for (LinkId l = 0; l < net.num_net_links(); ++l) {
+    const Link& link = net.link(l);
+    const double u =
+        static_cast<double>(link.flits_carried) / static_cast<double>(cycles);
+    sum += u;
+    s.max = std::max(s.max, u);
+    s.min = std::min(s.min, u);
+    idle += (link.flits_carried == 0);
+    const unsigned dim = topo::channel_dim(link.src_channel);
+    s.per_dim[dim] += u;
+    ++per_dim_links[dim];
+  }
+  s.mean = sum / net.num_net_links();
+  s.imbalance = s.mean > 0 ? s.max / s.mean : 0.0;
+  s.idle_fraction =
+      static_cast<double>(idle) / static_cast<double>(net.num_net_links());
+  for (unsigned d = 0; d < topo.dims(); ++d) {
+    if (per_dim_links[d]) s.per_dim[d] /= static_cast<double>(per_dim_links[d]);
+  }
+  return s;
+}
+
+void reset_utilization(Network& net) {
+  for (LinkId l = 0; l < net.num_links(); ++l) {
+    net.link(l).flits_carried = 0;
+  }
+}
+
+}  // namespace wormsim::sim

@@ -1,0 +1,32 @@
+// Physical-link utilization analysis: how evenly a workload loads the
+// network, where the hot links are, and per-dimension balance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace wormsim::sim {
+
+struct UtilizationSummary {
+  double mean = 0.0;  // flits per link per cycle, network links only
+  double max = 0.0;
+  double min = 0.0;
+  /// max / mean; 1.0 = perfectly balanced.
+  double imbalance = 0.0;
+  /// Mean utilization per topology dimension (both directions pooled).
+  std::vector<double> per_dim;
+  /// Fraction of network links that carried no flit at all.
+  double idle_fraction = 0.0;
+};
+
+/// Summarize flit counters accumulated over `cycles` cycles of
+/// simulation (counters are cumulative; pass the cycle span they cover).
+UtilizationSummary summarize_utilization(const Network& net,
+                                         std::uint64_t cycles);
+
+/// Reset all link flit counters (e.g. after warm-up).
+void reset_utilization(Network& net);
+
+}  // namespace wormsim::sim

@@ -1,0 +1,122 @@
+// Per-node message arrival processes.
+//
+// The paper (§4.1): "Each node generates messages independently,
+// according to an exponential distribution" — i.e. a Poisson arrival
+// process per node. We keep continuous arrival times internally and
+// release messages on the cycle boundary they fall in, so the offered
+// rate is exact even when the mean inter-arrival is not an integer
+// number of cycles. A Bernoulli (geometric inter-arrival) process is
+// also provided for cross-checking.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "util/rng.hpp"
+#include "util/small_vector.hpp"
+
+namespace wormsim::traffic {
+
+enum class ProcessKind { Exponential, Bernoulli, Bursty };
+
+ProcessKind parse_process(std::string_view name);
+std::string_view process_name(ProcessKind kind);
+
+class InjectionProcess {
+ public:
+  virtual ~InjectionProcess() = default;
+
+  /// Number of messages this node generates during cycle `cycle`.
+  /// Cycles must be polled in non-decreasing order.
+  virtual unsigned arrivals(std::uint64_t cycle, util::Rng& rng) = 0;
+
+  /// Change the arrival rate (messages/node/cycle) mid-run; used by
+  /// bursty workload studies.
+  virtual void set_rate(double msgs_per_cycle) = 0;
+  virtual double rate() const noexcept = 0;
+
+  virtual ProcessKind kind() const noexcept = 0;
+};
+
+/// Poisson process: exponential inter-arrival times accumulated in
+/// continuous time.
+class ExponentialProcess final : public InjectionProcess {
+ public:
+  explicit ExponentialProcess(double msgs_per_cycle);
+
+  unsigned arrivals(std::uint64_t cycle, util::Rng& rng) override;
+  void set_rate(double msgs_per_cycle) override;
+  double rate() const noexcept override { return rate_; }
+  ProcessKind kind() const noexcept override {
+    return ProcessKind::Exponential;
+  }
+
+ private:
+  double rate_;
+  double next_arrival_ = -1.0;  // < 0 → first arrival not yet drawn
+};
+
+/// Bernoulli process: at most one arrival per cycle, probability = rate.
+class BernoulliProcess final : public InjectionProcess {
+ public:
+  explicit BernoulliProcess(double msgs_per_cycle);
+
+  unsigned arrivals(std::uint64_t cycle, util::Rng& rng) override;
+  void set_rate(double msgs_per_cycle) override;
+  double rate() const noexcept override { return rate_; }
+  ProcessKind kind() const noexcept override { return ProcessKind::Bernoulli; }
+
+ private:
+  double rate_;
+};
+
+/// Markov-modulated on/off Poisson process: bursts of elevated rate
+/// separated by idle periods, with the configured long-run average rate.
+/// Models the bursty application traffic the paper's introduction cites
+/// as the practical reason saturation prevention matters [Flich'99,
+/// Silla'98].
+class BurstyProcess final : public InjectionProcess {
+ public:
+  struct Params {
+    /// Fraction of time spent in the ON state (0 < duty <= 1).
+    double duty_cycle = 0.25;
+    /// Mean length of an ON burst, cycles (exponentially distributed).
+    double mean_burst_cycles = 500.0;
+    /// true: all nodes share one burst schedule (application-phase
+    /// behaviour — the whole machine bursts together, which is what
+    /// transiently saturates a large network). false: independent
+    /// per-node schedules (their aggregate load smooths out as the node
+    /// count grows).
+    bool synchronized = false;
+    /// Seed for the burst-phase schedule; Workload sets it per node for
+    /// independent bursts or to one shared value when synchronized.
+    std::uint64_t phase_seed = 0;
+  };
+
+  BurstyProcess(double msgs_per_cycle, Params params);
+
+  unsigned arrivals(std::uint64_t cycle, util::Rng& rng) override;
+  void set_rate(double msgs_per_cycle) override;
+  double rate() const noexcept override { return mean_rate_; }
+  ProcessKind kind() const noexcept override { return ProcessKind::Bursty; }
+
+  bool on() const noexcept { return on_; }
+  /// Instantaneous rate while a burst is active.
+  double burst_rate() const noexcept { return mean_rate_ / params_.duty_cycle; }
+
+ private:
+  double mean_rate_;
+  Params params_;
+  util::Rng phase_rng_;  // burst schedule; shared seed => shared schedule
+  bool on_ = false;
+  std::uint64_t phase_ends_ = 0;  // cycle the current ON/OFF phase ends
+  double next_arrival_ = -1.0;
+  bool initialized_ = false;
+};
+
+std::unique_ptr<InjectionProcess> make_process(
+    ProcessKind kind, double msgs_per_cycle,
+    const BurstyProcess::Params& bursty_params = {});
+
+}  // namespace wormsim::traffic

@@ -1,0 +1,265 @@
+#include "traffic/patterns.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace wormsim::traffic {
+
+namespace {
+
+/// Number of address bits for bit-permutation patterns; throws if the
+/// node count is not a power of two.
+unsigned address_bits(const topo::KAryNCube& topo) {
+  const auto nodes = topo.num_nodes();
+  if (!std::has_single_bit(nodes)) {
+    throw std::invalid_argument(
+        "bit-permutation traffic patterns require a power-of-two node "
+        "count");
+  }
+  return static_cast<unsigned>(std::countr_zero(nodes));
+}
+
+class UniformPattern final : public TrafficPattern {
+ public:
+  explicit UniformPattern(NodeId num_nodes) : num_nodes_(num_nodes) {}
+  NodeId destination(NodeId src, util::Rng& rng) const override {
+    // Uniform over all nodes except src.
+    auto d = static_cast<NodeId>(rng.below(num_nodes_ - 1));
+    return d >= src ? d + 1 : d;
+  }
+  PatternKind kind() const noexcept override { return PatternKind::Uniform; }
+  bool deterministic() const noexcept override { return false; }
+
+ private:
+  NodeId num_nodes_;
+};
+
+class BitPermutationPattern : public TrafficPattern {
+ public:
+  explicit BitPermutationPattern(unsigned bits) : bits_(bits) {}
+  NodeId destination(NodeId src, util::Rng&) const override {
+    return permute(src);
+  }
+
+ protected:
+  virtual NodeId permute(NodeId src) const = 0;
+  unsigned bits_;
+};
+
+/// Butterfly: swap the most and least significant address bits (§3).
+class ButterflyPattern final : public BitPermutationPattern {
+ public:
+  using BitPermutationPattern::BitPermutationPattern;
+  PatternKind kind() const noexcept override { return PatternKind::Butterfly; }
+
+ protected:
+  NodeId permute(NodeId src) const override {
+    const NodeId lo = src & 1u;
+    const NodeId hi = (src >> (bits_ - 1)) & 1u;
+    NodeId dst = src & ~((1u << (bits_ - 1)) | 1u);
+    dst |= lo << (bits_ - 1);
+    dst |= hi;
+    return dst;
+  }
+};
+
+/// Complement: invert every address bit.
+class ComplementPattern final : public BitPermutationPattern {
+ public:
+  using BitPermutationPattern::BitPermutationPattern;
+  PatternKind kind() const noexcept override { return PatternKind::Complement; }
+
+ protected:
+  NodeId permute(NodeId src) const override {
+    return ~src & ((1u << bits_) - 1u);
+  }
+};
+
+/// Bit-reversal: reverse the address bit order.
+class BitReversalPattern final : public BitPermutationPattern {
+ public:
+  using BitPermutationPattern::BitPermutationPattern;
+  PatternKind kind() const noexcept override {
+    return PatternKind::BitReversal;
+  }
+
+ protected:
+  NodeId permute(NodeId src) const override {
+    NodeId dst = 0;
+    for (unsigned b = 0; b < bits_; ++b) {
+      dst |= ((src >> b) & 1u) << (bits_ - 1 - b);
+    }
+    return dst;
+  }
+};
+
+/// Perfect shuffle: rotate the address bits left by one.
+class PerfectShufflePattern final : public BitPermutationPattern {
+ public:
+  using BitPermutationPattern::BitPermutationPattern;
+  PatternKind kind() const noexcept override {
+    return PatternKind::PerfectShuffle;
+  }
+
+ protected:
+  NodeId permute(NodeId src) const override {
+    const NodeId mask = (1u << bits_) - 1u;
+    return ((src << 1) | (src >> (bits_ - 1))) & mask;
+  }
+};
+
+/// Transpose: swap the two halves of the address bits (matrix transpose
+/// on a 2^(b/2) x 2^(b/2) grid). For odd b the middle bit stays put.
+class TransposePattern final : public BitPermutationPattern {
+ public:
+  using BitPermutationPattern::BitPermutationPattern;
+  PatternKind kind() const noexcept override { return PatternKind::Transpose; }
+
+ protected:
+  NodeId permute(NodeId src) const override {
+    const unsigned half = bits_ / 2;
+    const NodeId low = src & ((1u << half) - 1u);
+    const NodeId high = (src >> (bits_ - half)) & ((1u << half) - 1u);
+    NodeId mid = 0;
+    if (bits_ % 2) mid = (src >> half) & 1u;
+    NodeId dst = (low << (bits_ - half)) | high;
+    if (bits_ % 2) dst |= mid << half;
+    return dst;
+  }
+};
+
+/// Tornado: per dimension, move just under half-way around the ring
+/// (the classic adversary for minimal adaptive routing in tori).
+class TornadoPattern final : public TrafficPattern {
+ public:
+  explicit TornadoPattern(const topo::KAryNCube& t) : topo_(&t) {}
+  NodeId destination(NodeId src, util::Rng&) const override {
+    topo::Coords c = topo_->coords_of(src);
+    const auto k = topo_->radix();
+    const auto shift = static_cast<std::uint16_t>((k + 1) / 2 - 1);
+    for (unsigned d = 0; d < topo_->dims(); ++d) {
+      c[d] = static_cast<std::uint16_t>((c[d] + shift) % k);
+    }
+    return topo_->node_at(c);
+  }
+  PatternKind kind() const noexcept override { return PatternKind::Tornado; }
+
+ private:
+  const topo::KAryNCube* topo_;
+};
+
+/// NeighborPlus: destination is the next node along dimension 0; purely
+/// local traffic, useful as a low-contention control workload.
+class NeighborPlusPattern final : public TrafficPattern {
+ public:
+  explicit NeighborPlusPattern(const topo::KAryNCube& t) : topo_(&t) {}
+  NodeId destination(NodeId src, util::Rng&) const override {
+    return topo_->neighbor(src, topo::make_channel(0, topo::Dir::Plus));
+  }
+  PatternKind kind() const noexcept override {
+    return PatternKind::NeighborPlus;
+  }
+
+ private:
+  const topo::KAryNCube* topo_;
+};
+
+/// Hotspot: with probability `fraction` target a fixed hotspot node,
+/// otherwise uniform.
+class HotspotPattern final : public TrafficPattern {
+ public:
+  HotspotPattern(NodeId num_nodes, HotspotParams p)
+      : uniform_(num_nodes), params_(p) {
+    if (p.hotspot >= num_nodes) {
+      throw std::invalid_argument("hotspot node out of range");
+    }
+    if (p.fraction < 0.0 || p.fraction > 1.0) {
+      throw std::invalid_argument("hotspot fraction must be in [0,1]");
+    }
+  }
+  NodeId destination(NodeId src, util::Rng& rng) const override {
+    if (src != params_.hotspot && rng.bernoulli(params_.fraction)) {
+      return params_.hotspot;
+    }
+    return uniform_.destination(src, rng);
+  }
+  PatternKind kind() const noexcept override { return PatternKind::Hotspot; }
+  bool deterministic() const noexcept override { return false; }
+
+ private:
+  UniformPattern uniform_;
+  HotspotParams params_;
+};
+
+}  // namespace
+
+PatternKind parse_pattern(std::string_view name) {
+  if (name == "uniform") return PatternKind::Uniform;
+  if (name == "butterfly") return PatternKind::Butterfly;
+  if (name == "complement") return PatternKind::Complement;
+  if (name == "bit-reversal" || name == "bitreversal") {
+    return PatternKind::BitReversal;
+  }
+  if (name == "perfect-shuffle" || name == "shuffle") {
+    return PatternKind::PerfectShuffle;
+  }
+  if (name == "transpose") return PatternKind::Transpose;
+  if (name == "tornado") return PatternKind::Tornado;
+  if (name == "neighbor") return PatternKind::NeighborPlus;
+  if (name == "hotspot") return PatternKind::Hotspot;
+  throw std::invalid_argument("unknown traffic pattern: " +
+                              std::string(name));
+}
+
+std::string_view pattern_name(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::Uniform: return "uniform";
+    case PatternKind::Butterfly: return "butterfly";
+    case PatternKind::Complement: return "complement";
+    case PatternKind::BitReversal: return "bit-reversal";
+    case PatternKind::PerfectShuffle: return "perfect-shuffle";
+    case PatternKind::Transpose: return "transpose";
+    case PatternKind::Tornado: return "tornado";
+    case PatternKind::NeighborPlus: return "neighbor";
+    case PatternKind::Hotspot: return "hotspot";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<TrafficPattern> make_pattern(PatternKind kind,
+                                             const topo::KAryNCube& topo,
+                                             const HotspotParams& params) {
+  switch (kind) {
+    case PatternKind::Uniform:
+      return std::make_unique<UniformPattern>(topo.num_nodes());
+    case PatternKind::Butterfly:
+      return std::make_unique<ButterflyPattern>(address_bits(topo));
+    case PatternKind::Complement:
+      return std::make_unique<ComplementPattern>(address_bits(topo));
+    case PatternKind::BitReversal:
+      return std::make_unique<BitReversalPattern>(address_bits(topo));
+    case PatternKind::PerfectShuffle:
+      return std::make_unique<PerfectShufflePattern>(address_bits(topo));
+    case PatternKind::Transpose:
+      return std::make_unique<TransposePattern>(address_bits(topo));
+    case PatternKind::Tornado:
+      return std::make_unique<TornadoPattern>(topo);
+    case PatternKind::NeighborPlus:
+      return std::make_unique<NeighborPlusPattern>(topo);
+    case PatternKind::Hotspot:
+      return std::make_unique<HotspotPattern>(topo.num_nodes(), params);
+  }
+  throw std::invalid_argument("unknown pattern kind");
+}
+
+double active_node_fraction(const TrafficPattern& pattern,
+                            const topo::KAryNCube& topo, util::Rng& rng) {
+  if (!pattern.deterministic()) return 1.0;
+  NodeId active = 0;
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (pattern.destination(n, rng) != n) ++active;
+  }
+  return static_cast<double>(active) / static_cast<double>(topo.num_nodes());
+}
+
+}  // namespace wormsim::traffic

@@ -1,0 +1,75 @@
+// Message-destination distributions.
+//
+// The paper evaluates: Uniform, Butterfly, Complement, Bit-reversal and
+// Perfect-shuffle (§4.1). Transpose, Tornado, NeighborPlus and Hotspot
+// are provided as extensions for wider workload studies.
+//
+// The bit-permutation patterns (butterfly, complement, bit-reversal,
+// perfect-shuffle, transpose) operate on the binary representation of
+// the node id and therefore require the node count to be a power of two
+// (true for the paper's 8-ary 3-cube: 512 = 2^9).
+//
+// A pattern may map a node onto itself (e.g. palindromic ids under
+// bit-reversal). Following standard practice, such nodes simply generate
+// no traffic; callers must check `destination() != src`.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "topology/kary_ncube.hpp"
+#include "util/rng.hpp"
+
+namespace wormsim::traffic {
+
+using topo::NodeId;
+
+enum class PatternKind {
+  Uniform,
+  Butterfly,
+  Complement,
+  BitReversal,
+  PerfectShuffle,
+  Transpose,
+  Tornado,
+  NeighborPlus,
+  Hotspot,
+};
+
+/// Parses a pattern name ("uniform", "butterfly", "complement",
+/// "bit-reversal", "perfect-shuffle", "transpose", "tornado",
+/// "neighbor", "hotspot"); throws std::invalid_argument on unknown names.
+PatternKind parse_pattern(std::string_view name);
+std::string_view pattern_name(PatternKind kind);
+
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+
+  /// Destination for a message generated at `src`. Random patterns draw
+  /// from `rng`; deterministic ones ignore it. May return `src`, meaning
+  /// this node generates no traffic under this pattern.
+  virtual NodeId destination(NodeId src, util::Rng& rng) const = 0;
+
+  virtual PatternKind kind() const noexcept = 0;
+  /// True if destination() is a pure function of src.
+  virtual bool deterministic() const noexcept { return true; }
+};
+
+struct HotspotParams {
+  NodeId hotspot = 0;
+  double fraction = 0.1;  // probability a message targets the hotspot
+};
+
+/// Factory. `params` is only read for Hotspot.
+std::unique_ptr<TrafficPattern> make_pattern(
+    PatternKind kind, const topo::KAryNCube& topo,
+    const HotspotParams& params = {});
+
+/// Fraction of nodes whose pattern destination differs from themselves
+/// (1.0 for uniform/complement; can be < 1 for bit permutations).
+double active_node_fraction(const TrafficPattern& pattern,
+                            const topo::KAryNCube& topo, util::Rng& rng);
+
+}  // namespace wormsim::traffic

@@ -1,0 +1,61 @@
+// Message traces: record a workload's generation events to a portable
+// text format and replay them later (or feed in traces captured from
+// real applications — the paper's motivating studies [Flich'99,
+// Silla'98] are execution-driven).
+//
+// Format (line-oriented, '#' comments allowed):
+//   #wormsim-trace v1
+//   <cycle> <src> <dst> <length_flits>
+// Records must be sorted by cycle (ties keep file order).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "topology/kary_ncube.hpp"
+#include "traffic/workload.hpp"
+
+namespace wormsim::traffic {
+
+struct TraceRecord {
+  std::uint64_t cycle = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t length = 0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+class Trace {
+ public:
+  void add(const TraceRecord& r);
+  const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+  /// Last generation cycle (0 for an empty trace).
+  std::uint64_t horizon() const noexcept {
+    return records_.empty() ? 0 : records_.back().cycle;
+  }
+
+  /// Throws std::invalid_argument if any record is out of range for the
+  /// topology, self-addressed, zero-length, or out of cycle order.
+  void validate(const topo::KAryNCube& topo) const;
+
+  void save(std::ostream& out) const;
+  static Trace load(std::istream& in);
+
+  /// Record `cycles` cycles of a Workload's generation events offline
+  /// (deterministic: the same seed yields the same trace the live
+  /// Workload would feed the simulator).
+  static Trace from_workload(const topo::KAryNCube& topo,
+                             const WorkloadConfig& cfg, std::uint64_t seed,
+                             std::uint64_t cycles);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace wormsim::traffic

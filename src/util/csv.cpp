@@ -1,0 +1,41 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace wormsim::util {
+
+std::string CsvWriter::escape(std::string_view value) {
+  const bool needs_quotes =
+      value.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(value);
+  std::string out;
+  out.reserve(value.size() + 2);
+  out.push_back('"');
+  for (char c : value) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string CsvWriter::format(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, 10);
+  return std::string(buf, res.ptr);
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << cells[i];
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace wormsim::util

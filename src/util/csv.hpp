@@ -1,0 +1,53 @@
+// Minimal CSV emission for bench/figure harnesses.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wormsim::util {
+
+/// Writes RFC-4180-ish CSV rows to an ostream. Values containing commas,
+/// quotes or newlines are quoted. Numeric overloads format with enough
+/// precision to round-trip.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(std::initializer_list<std::string_view> names) {
+    row_strings(std::vector<std::string>(names.begin(), names.end()));
+  }
+
+  /// Variadic row: accepts any mix of arithmetic types and strings.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(format(values)), ...);
+    row_strings(cells);
+  }
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+  static std::string escape(std::string_view value);
+  static std::string format(double v);
+  static std::string format(float v) { return format(static_cast<double>(v)); }
+  static std::string format(std::string_view v) { return escape(v); }
+  static std::string format(const std::string& v) { return escape(v); }
+  static std::string format(const char* v) { return escape(v); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string format(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  void row_strings(const std::vector<std::string>& cells);
+
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace wormsim::util

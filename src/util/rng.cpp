@@ -1,0 +1,74 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace wormsim::util {
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& s : state_) s = sm.next();
+  // All-zero state is invalid for xoshiro; SplitMix64 cannot produce four
+  // consecutive zeros from any seed, so no further check is needed.
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+      }
+      next();
+    }
+  }
+  state_ = acc;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire's method with rejection for exact uniformity.
+  while (true) {
+    const std::uint64_t x = gen_.next();
+    const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    const std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo >= bound || lo >= (0ULL - bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::exponential(double rate) noexcept {
+  // Inverse CDF; guard against log(0).
+  double u;
+  do {
+    u = uniform01();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Rng::geometric(double p) noexcept {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return std::numeric_limits<std::uint64_t>::max();
+  double u;
+  do {
+    u = uniform01();
+  } while (u <= 0.0);
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+Rng Rng::split() noexcept {
+  // The child takes the current 2^128-draw block; the parent jumps past
+  // it, so successive splits hand out disjoint, non-overlapping blocks.
+  // (Jumping the child instead would NOT work: jump commutes with
+  // stepping, so children separated by one parent step would produce
+  // the same stream shifted by one draw.)
+  Rng child(0);
+  child.gen_ = gen_;
+  gen_.jump();
+  return child;
+}
+
+}  // namespace wormsim::util

@@ -1,0 +1,109 @@
+// Deterministic, fast pseudo-random number generation for simulation.
+//
+// The simulator must be exactly reproducible given a seed, across
+// platforms and standard-library implementations, so we avoid
+// std::mt19937/std::*_distribution (whose algorithms are unspecified for
+// the distributions) and implement xoshiro256** seeded via SplitMix64,
+// plus the handful of distributions the workload generators need.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace wormsim::util {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro state and to
+/// derive independent per-node substream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator (Blackman/Vigna).
+/// Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Jump ahead 2^128 steps; used to split one seed into many
+  /// non-overlapping substreams (one per network node).
+  void jump() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Simulation-facing RNG with the distributions the workloads need.
+/// All methods are branch-light and allocation-free.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) noexcept : gen_(seed) {}
+
+  std::uint64_t bits() noexcept { return gen_.next(); }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform01() noexcept {
+    return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+  }
+
+  /// true with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Geometric number of whole cycles until a Bernoulli(p) event fires
+  /// (>= 0); used for discrete-time exponential inter-arrival.
+  std::uint64_t geometric(double p) noexcept;
+
+  /// Derive an independent substream (for per-node generators).
+  Rng split() noexcept;
+
+ private:
+  Xoshiro256 gen_;
+};
+
+}  // namespace wormsim::util

@@ -1,0 +1,71 @@
+// Fixed-capacity inline vector used on the simulator's hot paths
+// (routing candidate lists, free-VC lists). No heap allocation, no
+// exceptions on the fast path; exceeding capacity is a programming error
+// checked by assert.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+
+namespace wormsim::util {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is intended for POD-ish hot-path data");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  void push_back(const T& v) noexcept {
+    assert(size_ < N && "SmallVector capacity exceeded");
+    data_[size_++] = v;
+  }
+
+  template <typename... Args>
+  void emplace_back(Args&&... args) noexcept {
+    assert(size_ < N && "SmallVector capacity exceeded");
+    data_[size_++] = T{static_cast<Args&&>(args)...};
+  }
+
+  void clear() noexcept { size_ = 0; }
+  void pop_back() noexcept {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  static constexpr std::size_t capacity() noexcept { return N; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == N; }
+
+  T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  T& back() noexcept { return (*this)[size_ - 1]; }
+  const T& back() const noexcept { return (*this)[size_ - 1]; }
+  T& front() noexcept { return (*this)[0]; }
+  const T& front() const noexcept { return (*this)[0]; }
+
+  iterator begin() noexcept { return data_; }
+  iterator end() noexcept { return data_ + size_; }
+  const_iterator begin() const noexcept { return data_; }
+  const_iterator end() const noexcept { return data_ + size_; }
+
+ private:
+  T data_[N];
+  std::size_t size_ = 0;
+};
+
+}  // namespace wormsim::util

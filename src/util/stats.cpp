@@ -1,0 +1,109 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wormsim::util {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double bin_width, std::size_t max_bins)
+    : bin_width_(bin_width > 0 ? bin_width : 1.0), max_bins_(max_bins) {}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < 0) x = 0;
+  const auto idx = static_cast<std::size_t>(x / bin_width_);
+  if (idx >= max_bins_) {
+    ++overflow_;
+    return;
+  }
+  if (idx >= bins_.size()) bins_.resize(idx + 1, 0);
+  ++bins_[idx];
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (seen + bins_[i] > target) {
+      const double within =
+          bins_[i] ? static_cast<double>(target - seen) /
+                         static_cast<double>(bins_[i])
+                   : 0.0;
+      return (static_cast<double>(i) + within) * bin_width_;
+    }
+    seen += bins_[i];
+  }
+  return static_cast<double>(bins_.size()) * bin_width_;
+}
+
+void Histogram::reset() noexcept {
+  bins_.clear();
+  total_ = 0;
+  overflow_ = 0;
+}
+
+double FairnessCounters::mean() const noexcept {
+  if (counts_.empty()) return 0.0;
+  double sum = 0;
+  for (auto c : counts_) sum += static_cast<double>(c);
+  return sum / static_cast<double>(counts_.size());
+}
+
+double FairnessCounters::deviation_pct(std::size_t node) const noexcept {
+  const double m = mean();
+  if (m == 0.0) return 0.0;
+  return (static_cast<double>(counts_[node]) - m) / m * 100.0;
+}
+
+double FairnessCounters::max_abs_deviation_pct() const noexcept {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    worst = std::max(worst, std::abs(deviation_pct(i)));
+  }
+  return worst;
+}
+
+double FairnessCounters::jain_index() const noexcept {
+  if (counts_.empty()) return 1.0;
+  double sum = 0.0, sumsq = 0.0;
+  for (auto c : counts_) {
+    const double x = static_cast<double>(c);
+    sum += x;
+    sumsq += x * x;
+  }
+  if (sumsq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(counts_.size()) * sumsq);
+}
+
+}  // namespace wormsim::util

@@ -1,0 +1,92 @@
+// Streaming statistics used by the metrics collector.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace wormsim::util {
+
+/// Welford online mean/variance accumulator. Numerically stable, O(1)
+/// per sample, mergeable (parallel-sweep friendly).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n); the simulator reports whole-run
+  /// populations, not samples of a larger run.
+  double variance() const noexcept { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  /// Unbiased sample variance (divides by n-1).
+  double sample_variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin-width histogram with an overflow bucket; grows its bin count
+/// lazily up to `max_bins`, after which samples land in the overflow.
+/// Supports approximate quantiles by linear interpolation within a bin.
+class Histogram {
+ public:
+  explicit Histogram(double bin_width = 1.0, std::size_t max_bins = 1 << 16);
+
+  void add(double x) noexcept;
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  double bin_width() const noexcept { return bin_width_; }
+  const std::vector<std::uint64_t>& bins() const noexcept { return bins_; }
+
+  /// q in [0,1]. Returns an interpolated value; if the quantile falls in
+  /// the overflow bucket, returns the histogram's upper edge.
+  double quantile(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  double bin_width_;
+  std::size_t max_bins_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Per-node counter vector with fairness summaries: used for the paper's
+/// Figure 4 (per-node sent-message deviation from the mean).
+class FairnessCounters {
+ public:
+  explicit FairnessCounters(std::size_t num_nodes) : counts_(num_nodes, 0) {}
+
+  void increment(std::size_t node) noexcept { ++counts_[node]; }
+  std::uint64_t at(std::size_t node) const noexcept { return counts_[node]; }
+  const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+
+  double mean() const noexcept;
+  /// Signed relative deviation of one node from the mean, in percent
+  /// (the y-axis of the paper's Figure 4).
+  double deviation_pct(std::size_t node) const noexcept;
+  /// Largest |deviation_pct| over all nodes.
+  double max_abs_deviation_pct() const noexcept;
+  /// Jain's fairness index in (0, 1]; 1 means perfectly fair.
+  double jain_index() const noexcept;
+
+  void reset() noexcept { counts_.assign(counts_.size(), 0); }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace wormsim::util

@@ -1,0 +1,86 @@
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsim::core {
+namespace {
+
+TEST(CostModel, CountBits) {
+  EXPECT_EQ(count_bits(0), 0u);  // counts 0..0 need no storage
+  EXPECT_EQ(count_bits(1), 1u);
+  EXPECT_EQ(count_bits(2), 2u);
+  EXPECT_EQ(count_bits(3), 2u);
+  EXPECT_EQ(count_bits(18), 5u);
+  EXPECT_EQ(count_bits(31), 5u);
+  EXPECT_EQ(count_bits(32), 6u);
+}
+
+TEST(CostModel, NoneIsFree) {
+  const auto c = estimate_cost(LimiterKind::None, 6, 3);
+  EXPECT_EQ(c.total_gate_equivalents(), 0u);
+}
+
+TEST(CostModel, AloHasNoSequentialState) {
+  // The paper's §3 claim, verbatim: no thresholds, so no registers and
+  // no comparators — only some logic gates.
+  const auto c = estimate_cost(LimiterKind::ALO, 6, 3);
+  EXPECT_GT(c.combinational_gates, 0u);
+  EXPECT_FALSE(c.needs_registers());
+  EXPECT_FALSE(c.needs_comparators());
+  EXPECT_EQ(c.adder_bits, 0u);
+}
+
+TEST(CostModel, LfNeedsCountersAndComparator) {
+  const auto c = estimate_cost(LimiterKind::LF, 6, 3);
+  EXPECT_TRUE(c.needs_comparators());
+  EXPECT_GT(c.adder_bits, 0u);
+  EXPECT_FALSE(c.needs_registers());  // threshold is combinational in LF
+}
+
+TEST(CostModel, DrilNeedsRegistersToo) {
+  const auto c = estimate_cost(LimiterKind::DRIL, 6, 3);
+  EXPECT_TRUE(c.needs_registers());
+  EXPECT_TRUE(c.needs_comparators());
+}
+
+TEST(CostModel, PaperOrderingAloCheapest) {
+  // For the paper's router (6 channels, 3 VCs): ALO < LF < DRIL in
+  // total gate equivalents — "its implementation is much simpler than
+  // any of the previous approaches".
+  const auto alo = estimate_cost(LimiterKind::ALO, 6, 3);
+  const auto lf = estimate_cost(LimiterKind::LF, 6, 3);
+  const auto dril = estimate_cost(LimiterKind::DRIL, 6, 3);
+  EXPECT_LT(alo.total_gate_equivalents(), lf.total_gate_equivalents());
+  EXPECT_LT(lf.total_gate_equivalents(), dril.total_gate_equivalents());
+}
+
+class CostScalingTest
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(CostScalingTest, OrderingHoldsAcrossRouterShapes) {
+  const auto [channels, vcs] = GetParam();
+  const auto alo = estimate_cost(LimiterKind::ALO, channels, vcs);
+  const auto lf = estimate_cost(LimiterKind::LF, channels, vcs);
+  const auto dril = estimate_cost(LimiterKind::DRIL, channels, vcs);
+  EXPECT_LT(alo.total_gate_equivalents(), lf.total_gate_equivalents());
+  EXPECT_LT(lf.total_gate_equivalents(), dril.total_gate_equivalents());
+  EXPECT_FALSE(alo.needs_registers());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CostScalingTest,
+    ::testing::Values(std::make_pair(4u, 2u), std::make_pair(4u, 3u),
+                      std::make_pair(6u, 3u), std::make_pair(8u, 4u),
+                      std::make_pair(12u, 4u)));
+
+TEST(CostModel, AloCostGrowsLinearlyWithStatusBits) {
+  const auto small = estimate_cost(LimiterKind::ALO, 4, 2);
+  const auto big = estimate_cost(LimiterKind::ALO, 8, 4);
+  // 4x the status bits should cost roughly 4x the gates (within 2x
+  // slack for the reduction trees).
+  EXPECT_GT(big.combinational_gates, 2 * small.combinational_gates);
+  EXPECT_LT(big.combinational_gates, 8 * small.combinational_gates);
+}
+
+}  // namespace
+}  // namespace wormsim::core

@@ -1,0 +1,65 @@
+#include "deadlock/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsim::deadlock {
+namespace {
+
+TEST(RecoveryManager, StartsEmpty) {
+  RecoveryManager rm(4);
+  EXPECT_EQ(rm.pending_total(), 0u);
+  EXPECT_FALSE(rm.has_ready(0, 1000));
+}
+
+TEST(RecoveryManager, ReadyOnlyAfterDelay) {
+  RecoveryManager rm(4);
+  rm.enqueue(2, 7, /*ready=*/100);
+  EXPECT_EQ(rm.pending(2), 1u);
+  EXPECT_FALSE(rm.has_ready(2, 99));
+  EXPECT_TRUE(rm.has_ready(2, 100));
+  EXPECT_FALSE(rm.has_ready(1, 100));  // other node unaffected
+}
+
+TEST(RecoveryManager, FifoPerNode) {
+  RecoveryManager rm(2);
+  rm.enqueue(0, 10, 5);
+  rm.enqueue(0, 11, 5);
+  rm.enqueue(0, 12, 6);
+  EXPECT_EQ(rm.pop(0), 10u);
+  EXPECT_EQ(rm.pop(0), 11u);
+  EXPECT_EQ(rm.pop(0), 12u);
+  EXPECT_EQ(rm.pending_total(), 0u);
+}
+
+TEST(RecoveryManager, HeadBlocksReadiness) {
+  // FIFO semantics: the head entry gates readiness even if a later
+  // entry's deadline already passed.
+  RecoveryManager rm(1);
+  rm.enqueue(0, 1, 1000);
+  rm.enqueue(0, 2, 10);
+  EXPECT_FALSE(rm.has_ready(0, 500));
+  EXPECT_TRUE(rm.has_ready(0, 1000));
+}
+
+TEST(RecoveryManager, PendingTotalsAcrossNodes) {
+  RecoveryManager rm(3);
+  rm.enqueue(0, 1, 0);
+  rm.enqueue(1, 2, 0);
+  rm.enqueue(1, 3, 0);
+  EXPECT_EQ(rm.pending_total(), 3u);
+  EXPECT_EQ(rm.pending(1), 2u);
+  (void)rm.pop(1);
+  EXPECT_EQ(rm.pending_total(), 2u);
+}
+
+TEST(RecoveryManager, ClearEmptiesEverything) {
+  RecoveryManager rm(2);
+  rm.enqueue(0, 1, 0);
+  rm.enqueue(1, 2, 0);
+  rm.clear();
+  EXPECT_EQ(rm.pending_total(), 0u);
+  EXPECT_FALSE(rm.has_ready(0, 100));
+}
+
+}  // namespace
+}  // namespace wormsim::deadlock

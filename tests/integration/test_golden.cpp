@@ -1,0 +1,56 @@
+// Golden determinism regression: a fixed configuration and seed must
+// produce bit-identical aggregate results across refactors. If a code
+// change intentionally alters simulation behaviour (timing model, RNG,
+// phase order), update the constants below and note it in the change
+// description — silent drift is what this test exists to catch.
+#include <gtest/gtest.h>
+
+#include "config/presets.hpp"
+
+namespace wormsim {
+namespace {
+
+TEST(Golden, SmallUniformRunFingerprint) {
+  config::SimConfig cfg = config::small_base();
+  cfg.workload.offered_flits_per_node_cycle = 0.5;
+  cfg.sim.limiter.kind = core::LimiterKind::ALO;
+  cfg.protocol.warmup = 1000;
+  cfg.protocol.measure = 4000;
+  cfg.protocol.drain_max = 4000;
+  cfg.seed = 0xC0FFEE;
+
+  auto sim = config::build_simulator(cfg);
+  const auto r = sim->run(cfg.protocol);
+
+  // Structural facts that must never drift silently.
+  EXPECT_TRUE(r.fully_drained);
+  EXPECT_EQ(r.deadlock_detections, 0u);
+
+  // Exact fingerprint of this configuration (updated 2026-07: initial
+  // release baseline).
+  EXPECT_EQ(r.messages_generated, 10255u);
+  EXPECT_EQ(r.measured_generated, 8119u);
+  EXPECT_EQ(r.measured_delivered, 8119u);
+  EXPECT_NEAR(r.latency_mean, 47.3, 2.0);
+  EXPECT_NEAR(r.accepted_flits_per_node_cycle, 0.5, 0.01);
+}
+
+TEST(Golden, RerunIsBitIdentical) {
+  config::SimConfig cfg = config::small_base();
+  cfg.workload.offered_flits_per_node_cycle = 0.7;
+  cfg.protocol.warmup = 500;
+  cfg.protocol.measure = 2000;
+  cfg.protocol.drain_max = 3000;
+  const auto a = config::run_experiment(cfg);
+  const auto b = config::run_experiment(cfg);
+  EXPECT_EQ(a.messages_generated, b.messages_generated);
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+  EXPECT_EQ(a.deadlock_detections, b.deadlock_detections);
+  EXPECT_DOUBLE_EQ(a.latency_mean, b.latency_mean);
+  EXPECT_DOUBLE_EQ(a.latency_stddev, b.latency_stddev);
+  EXPECT_DOUBLE_EQ(a.accepted_flits_per_node_cycle,
+                   b.accepted_flits_per_node_cycle);
+}
+
+}  // namespace
+}  // namespace wormsim

@@ -1,0 +1,121 @@
+// Integration: comparative behaviour of the three injection-limitation
+// mechanisms (ALO vs LF vs DRIL), mirroring the paper's §4.2 claims at
+// reduced scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "config/presets.hpp"
+
+namespace wormsim {
+namespace {
+
+config::SimConfig test_base() {
+  config::SimConfig cfg = config::small_base();
+  cfg.protocol.warmup = 3000;
+  cfg.protocol.measure = 8000;
+  cfg.protocol.drain_max = 8000;
+  return cfg;
+}
+
+metrics::SimResult run_at(double offered, core::LimiterKind limiter,
+                          config::SimConfig cfg = test_base()) {
+  cfg.workload.offered_flits_per_node_cycle = offered;
+  cfg.sim.limiter.kind = limiter;
+  return config::run_experiment(cfg);
+}
+
+TEST(Mechanisms, AllLimitersPreventDegradation) {
+  const auto none = run_at(1.1, core::LimiterKind::None);
+  ASSERT_GT(none.deadlock_pct, 2.0);
+  for (const auto kind :
+       {core::LimiterKind::ALO, core::LimiterKind::LF,
+        core::LimiterKind::DRIL}) {
+    const auto r = run_at(1.1, kind);
+    EXPECT_GE(r.accepted_flits_per_node_cycle,
+              none.accepted_flits_per_node_cycle)
+        << core::limiter_name(kind);
+    EXPECT_LT(r.deadlock_pct, none.deadlock_pct / 2)
+        << core::limiter_name(kind);
+  }
+}
+
+TEST(Mechanisms, NoneOfThemThrottleAtLowLoad) {
+  for (const auto kind :
+       {core::LimiterKind::ALO, core::LimiterKind::LF,
+        core::LimiterKind::DRIL}) {
+    const auto r = run_at(0.15, kind);
+    EXPECT_NEAR(r.accepted_flits_per_node_cycle, 0.15, 0.02)
+        << core::limiter_name(kind);
+    EXPECT_TRUE(r.fully_drained) << core::limiter_name(kind);
+  }
+}
+
+TEST(Mechanisms, AloFairnessBeatsDril) {
+  // Paper Figure 4: ALO's per-node sent-message spread is within a few
+  // percent while DRIL shows tens of percent. Saturating load, uniform.
+  config::SimConfig cfg = test_base();
+  cfg.workload.length.fixed = 64;
+  cfg.protocol.measure = 12000;
+  cfg.workload.offered_flits_per_node_cycle = 1.0;
+
+  cfg.sim.limiter.kind = core::LimiterKind::ALO;
+  auto alo_sim = config::build_simulator(cfg);
+  alo_sim->run(cfg.protocol);
+  const double alo_dev =
+      alo_sim->collector().fairness().max_abs_deviation_pct();
+  const double alo_jain = alo_sim->collector().fairness().jain_index();
+
+  cfg.sim.limiter.kind = core::LimiterKind::DRIL;
+  auto dril_sim = config::build_simulator(cfg);
+  dril_sim->run(cfg.protocol);
+  const double dril_dev =
+      dril_sim->collector().fairness().max_abs_deviation_pct();
+  const double dril_jain = dril_sim->collector().fairness().jain_index();
+
+  EXPECT_LT(alo_dev, dril_dev);
+  EXPECT_GE(alo_jain, dril_jain);
+}
+
+TEST(Mechanisms, AloNeedsNoTuningAcrossPatterns) {
+  // ALO (threshold-free) keeps deadlocks negligible on every paper
+  // pattern without any parameter change.
+  for (const auto pattern :
+       {traffic::PatternKind::Uniform, traffic::PatternKind::Butterfly,
+        traffic::PatternKind::Complement, traffic::PatternKind::BitReversal,
+        traffic::PatternKind::PerfectShuffle}) {
+    config::SimConfig cfg = test_base();
+    cfg.workload.pattern = pattern;
+    const auto none = run_at(0.9, core::LimiterKind::None, cfg);
+    const auto alo = run_at(0.9, core::LimiterKind::ALO, cfg);
+    // Without tuning anything, ALO cuts the detection rate at least in
+    // half on every paper pattern (the paper's sub-percent figures need
+    // the 512-node 3-cube's extra adaptivity; see bench/fig05..fig10).
+    EXPECT_LT(alo.deadlock_pct,
+              std::max(0.6, none.deadlock_pct / 2))
+        << traffic::pattern_name(pattern);
+  }
+}
+
+TEST(Mechanisms, AloSustainsCompetitiveThroughput) {
+  // Paper: ALO usually reaches the highest throughput; when another
+  // mechanism wins, ALO stays close. Allow 10% slack at reduced scale.
+  const double alo =
+      run_at(1.1, core::LimiterKind::ALO).accepted_flits_per_node_cycle;
+  for (const auto kind : {core::LimiterKind::LF, core::LimiterKind::DRIL}) {
+    const double other =
+        run_at(1.1, kind).accepted_flits_per_node_cycle;
+    EXPECT_GT(alo, other * 0.9) << core::limiter_name(kind);
+  }
+}
+
+TEST(Mechanisms, LimiterDelaysShowUpAsQueueing) {
+  // Throttled messages wait at the source: with ALO at saturating load
+  // the average source queue is non-trivial while deadlocks stay ~0.
+  const auto r = run_at(1.1, core::LimiterKind::ALO);
+  EXPECT_GT(r.avg_queue_len, 1.0);
+  EXPECT_LT(r.deadlock_pct, 0.6);
+}
+
+}  // namespace
+}  // namespace wormsim

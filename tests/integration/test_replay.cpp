@@ -1,0 +1,86 @@
+// Trace replay equivalence: replaying a recorded workload trace must
+// reproduce the live simulation exactly.
+#include <gtest/gtest.h>
+
+#include "harness/replay.hpp"
+#include "sim/utilization.hpp"
+
+namespace wormsim {
+namespace {
+
+sim::SimulatorConfig sim_cfg() {
+  sim::SimulatorConfig cfg;
+  cfg.detection.threshold = 32;
+  return cfg;
+}
+
+traffic::WorkloadConfig workload_cfg(double offered) {
+  traffic::WorkloadConfig cfg;
+  cfg.offered_flits_per_node_cycle = offered;
+  cfg.length.fixed = 16;
+  return cfg;
+}
+
+TEST(Replay, MatchesLiveWorkloadExactly) {
+  const topo::KAryNCube topo(4, 2);
+  const auto wcfg = workload_cfg(0.6);
+  constexpr std::uint64_t kCycles = 4000;
+
+  // Live run.
+  auto live_workload = std::make_unique<traffic::Workload>(topo, wcfg, 7);
+  sim::Simulator live(topo, sim_cfg(), std::move(live_workload));
+  live.step_cycles(kCycles);
+
+  // Recorded + replayed run.
+  const traffic::Trace trace =
+      traffic::Trace::from_workload(topo, wcfg, 7, kCycles);
+  sim::Simulator replay(topo, sim_cfg(), nullptr);
+  harness::TraceReplayer replayer(trace);
+  while (replay.cycle() < kCycles) replayer.pump_and_step(replay);
+
+  EXPECT_TRUE(replayer.exhausted());
+  const auto rl = live.collector().finish(16);
+  const auto rr = replay.collector().finish(16);
+  EXPECT_EQ(rl.messages_generated, rr.messages_generated);
+  EXPECT_EQ(rl.messages_delivered, rr.messages_delivered);
+  EXPECT_DOUBLE_EQ(rl.latency_mean, rr.latency_mean);
+  EXPECT_EQ(live.total_deadlock_detections(),
+            replay.total_deadlock_detections());
+  EXPECT_EQ(live.network().flits_in_network(),
+            replay.network().flits_in_network());
+}
+
+TEST(Replay, RunToCompletionDrains) {
+  const topo::KAryNCube topo(4, 2);
+  const traffic::Trace trace =
+      traffic::Trace::from_workload(topo, workload_cfg(0.3), 9, 1500);
+  sim::Simulator sim(topo, sim_cfg(), nullptr);
+  harness::TraceReplayer replayer(trace);
+  replayer.run_to_completion(sim, 20000);
+  EXPECT_EQ(replayer.replayed(), trace.size());
+  EXPECT_TRUE(sim.network().quiescent());
+  EXPECT_EQ(sim.total_delivered(), trace.size());
+}
+
+TEST(Replay, UtilizationCountersMatchLiveRun) {
+  const topo::KAryNCube topo(4, 2);
+  const auto wcfg = workload_cfg(0.5);
+  constexpr std::uint64_t kCycles = 3000;
+
+  auto live_workload = std::make_unique<traffic::Workload>(topo, wcfg, 3);
+  sim::Simulator live(topo, sim_cfg(), std::move(live_workload));
+  live.step_cycles(kCycles);
+
+  const auto trace = traffic::Trace::from_workload(topo, wcfg, 3, kCycles);
+  sim::Simulator replay(topo, sim_cfg(), nullptr);
+  harness::TraceReplayer replayer(trace);
+  while (replay.cycle() < kCycles) replayer.pump_and_step(replay);
+
+  const auto ul = sim::summarize_utilization(live.network(), kCycles);
+  const auto ur = sim::summarize_utilization(replay.network(), kCycles);
+  EXPECT_DOUBLE_EQ(ul.mean, ur.mean);
+  EXPECT_DOUBLE_EQ(ul.max, ur.max);
+}
+
+}  // namespace
+}  // namespace wormsim

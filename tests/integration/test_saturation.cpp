@@ -1,0 +1,113 @@
+// Integration: the paper's Figure-1 phenomenology on a reduced-scale
+// network (8-ary 2-cube keeps runtimes CI-friendly; the full 512-node
+// experiments live in bench/).
+#include <gtest/gtest.h>
+
+#include "config/presets.hpp"
+
+namespace wormsim {
+namespace {
+
+config::SimConfig test_base() {
+  config::SimConfig cfg = config::small_base();
+  cfg.protocol.warmup = 3000;
+  cfg.protocol.measure = 8000;
+  cfg.protocol.drain_max = 8000;
+  return cfg;
+}
+
+metrics::SimResult run_at(double offered, core::LimiterKind limiter,
+                          config::SimConfig cfg = test_base()) {
+  cfg.workload.offered_flits_per_node_cycle = offered;
+  cfg.sim.limiter.kind = limiter;
+  return config::run_experiment(cfg);
+}
+
+TEST(Saturation, LowLoadUnaffectedByMechanism) {
+  // Paper §4.2: "with low traffic rates message injection limitation
+  // mechanisms do not impose any restriction".
+  const auto none = run_at(0.2, core::LimiterKind::None);
+  const auto alo = run_at(0.2, core::LimiterKind::ALO);
+  EXPECT_NEAR(none.accepted_flits_per_node_cycle, 0.2, 0.02);
+  EXPECT_NEAR(alo.accepted_flits_per_node_cycle, 0.2, 0.02);
+  EXPECT_NEAR(alo.latency_mean, none.latency_mean,
+              0.05 * none.latency_mean + 2.0);
+  EXPECT_FALSE(none.saturated);
+  EXPECT_TRUE(none.fully_drained);
+}
+
+TEST(Saturation, AcceptedTracksOfferedBelowSaturation) {
+  for (const double offered : {0.1, 0.3, 0.5}) {
+    const auto r = run_at(offered, core::LimiterKind::None);
+    EXPECT_NEAR(r.accepted_flits_per_node_cycle, offered, 0.03) << offered;
+    EXPECT_LT(r.deadlock_pct, 0.5) << offered;
+  }
+}
+
+TEST(Saturation, ThroughputCollapsesWithoutLimitation) {
+  // The core motivation (Figure 1): beyond saturation, accepted traffic
+  // drops below the peak and latency explodes.
+  const auto near_peak = run_at(0.7, core::LimiterKind::None);
+  const auto beyond = run_at(1.1, core::LimiterKind::None);
+  EXPECT_TRUE(beyond.saturated);
+  EXPECT_LT(beyond.accepted_flits_per_node_cycle,
+            near_peak.accepted_flits_per_node_cycle * 0.97);
+  EXPECT_GT(beyond.latency_mean, near_peak.latency_mean * 5);
+  EXPECT_GT(beyond.deadlock_pct, 1.0);
+}
+
+TEST(Saturation, AloPreventsTheCollapse) {
+  // Paper conclusion: with ALO the performance degradation is removed —
+  // accepted traffic stays at (or above) the no-limitation peak even
+  // far beyond saturation, and detected deadlocks become negligible.
+  const auto none_beyond = run_at(1.1, core::LimiterKind::None);
+  const auto alo_beyond = run_at(1.1, core::LimiterKind::ALO);
+  EXPECT_GT(alo_beyond.accepted_flits_per_node_cycle,
+            none_beyond.accepted_flits_per_node_cycle * 1.05);
+  EXPECT_LT(alo_beyond.deadlock_pct, 0.6);  // paper: 0.6% worst case
+}
+
+TEST(Saturation, AloThroughputStaysFlatBeyondSaturation) {
+  const auto at_09 = run_at(0.9, core::LimiterKind::ALO);
+  const auto at_12 = run_at(1.2, core::LimiterKind::ALO);
+  EXPECT_NEAR(at_12.accepted_flits_per_node_cycle,
+              at_09.accepted_flits_per_node_cycle,
+              0.05 * at_09.accepted_flits_per_node_cycle);
+}
+
+TEST(Saturation, DeadlockRateGrowsThenVanishesWithAlo) {
+  const auto none = run_at(1.0, core::LimiterKind::None);
+  const auto alo = run_at(1.0, core::LimiterKind::ALO);
+  EXPECT_GT(none.deadlock_pct, alo.deadlock_pct * 3);
+}
+
+TEST(Saturation, PermutationPatternCollapsesHarderThanUniform) {
+  // Paper §4.2 reports huge no-limitation deadlock rates for complement
+  // traffic. Complement concentrates load on the bisection, so
+  // saturation arrives earlier than uniform.
+  config::SimConfig cfg = test_base();
+  cfg.workload.pattern = traffic::PatternKind::Complement;
+  const auto comp = run_at(0.6, core::LimiterKind::None, cfg);
+  EXPECT_TRUE(comp.saturated);
+  EXPECT_GT(comp.deadlock_pct, 0.5);
+  // ALO considerably reduces detections (paper §4.2) — the sub-1%
+  // figure is only claimed for uniform traffic at full 512-node scale.
+  const auto alo = run_at(0.6, core::LimiterKind::ALO, cfg);
+  EXPECT_LT(alo.deadlock_pct, comp.deadlock_pct / 2);
+  EXPECT_GE(alo.accepted_flits_per_node_cycle,
+            comp.accepted_flits_per_node_cycle);
+}
+
+TEST(Saturation, Figure2ProbeTrendsDownWithLoad) {
+  // Figure 2: the fraction of routing occurrences satisfying the ALO
+  // conditions decreases as traffic grows.
+  const auto low = run_at(0.1, core::LimiterKind::None);
+  const auto high = run_at(0.7, core::LimiterKind::None);
+  EXPECT_GT(low.probe.pct_either(), 95.0);
+  EXPECT_LT(high.probe.pct_either(), low.probe.pct_either());
+  // Rule (a) alone is satisfied less often than (a OR b).
+  EXPECT_LE(high.probe.pct_a(), high.probe.pct_either());
+}
+
+}  // namespace
+}  // namespace wormsim

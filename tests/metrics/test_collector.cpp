@@ -1,0 +1,110 @@
+#include "metrics/collector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsim::metrics {
+namespace {
+
+TEST(Collector, WindowGating) {
+  Collector c(4, 100, 200);
+  EXPECT_FALSE(c.in_window(99));
+  EXPECT_TRUE(c.in_window(100));
+  EXPECT_TRUE(c.in_window(199));
+  EXPECT_FALSE(c.in_window(200));
+}
+
+TEST(Collector, LatencyOnlyFromMeasuredMessages) {
+  Collector c(4, 0, 1000);
+  c.on_delivered(/*gen=*/10, /*now=*/50, /*measured=*/true);
+  c.on_delivered(/*gen=*/10, /*now=*/900, /*measured=*/false);
+  const SimResult r = c.finish(4);
+  EXPECT_EQ(r.measured_delivered, 1u);
+  EXPECT_EQ(r.messages_delivered, 2u);
+  EXPECT_DOUBLE_EQ(r.latency_mean, 40.0);
+}
+
+TEST(Collector, AcceptedTrafficNormalization) {
+  Collector c(/*nodes=*/8, 100, 200);
+  c.on_flits_ejected(150, 3);
+  c.on_flits_ejected(199, 5);
+  c.on_flits_ejected(50, 100);   // before window: ignored
+  c.on_flits_ejected(200, 100);  // after window: ignored
+  const SimResult r = c.finish(8);
+  // 8 flits / (100 cycles * 8 nodes).
+  EXPECT_DOUBLE_EQ(r.accepted_flits_per_node_cycle, 0.01);
+}
+
+TEST(Collector, DeadlockPctOverWindowInjections) {
+  Collector c(2, 0, 100);
+  for (int i = 0; i < 50; ++i) c.on_injected(0, 10, true);
+  c.on_deadlock(20);
+  c.on_deadlock(30);
+  c.on_deadlock(200);  // outside window: ignored
+  const SimResult r = c.finish(2);
+  EXPECT_EQ(r.deadlock_detections, 2u);
+  EXPECT_DOUBLE_EQ(r.deadlock_pct, 4.0);
+}
+
+TEST(Collector, DeadlockPctZeroWhenNothingInjected) {
+  Collector c(2, 0, 100);
+  c.on_deadlock(20);
+  EXPECT_DOUBLE_EQ(c.finish(2).deadlock_pct, 0.0);
+}
+
+TEST(Collector, ProbePercentages) {
+  Collector c(2, 0, 100);
+  c.on_probe(1, true, true);
+  c.on_probe(2, true, false);
+  c.on_probe(3, false, false);
+  c.on_probe(4, false, true);
+  const ProbeStats p = c.finish(2).probe;
+  EXPECT_EQ(p.samples, 4u);
+  EXPECT_DOUBLE_EQ(p.pct_a(), 50.0);
+  EXPECT_DOUBLE_EQ(p.pct_b(), 50.0);
+  EXPECT_DOUBLE_EQ(p.pct_either(), 75.0);
+}
+
+TEST(Collector, ProbeIgnoredOutsideWindow) {
+  Collector c(2, 100, 200);
+  c.on_probe(50, true, true);
+  EXPECT_EQ(c.finish(2).probe.samples, 0u);
+}
+
+TEST(Collector, FairnessCountsOnlyWindowInjections) {
+  Collector c(3, 100, 200);
+  c.on_injected(1, 150, true);
+  c.on_injected(1, 160, true);
+  c.on_injected(2, 150, true);
+  c.on_injected(1, 50, true);    // outside window
+  c.on_injected(1, 150, false);  // re-injection: not fairness-relevant
+  EXPECT_EQ(c.fairness().at(1), 2u);
+  EXPECT_EQ(c.fairness().at(2), 1u);
+  EXPECT_EQ(c.finish(3).messages_injected_window, 4u);
+}
+
+TEST(Collector, QueueStats) {
+  Collector c(2, 0, 100);
+  c.on_queue_sample(0);
+  c.on_queue_sample(10);
+  c.on_queue_sample(20);
+  const SimResult r = c.finish(2);
+  EXPECT_DOUBLE_EQ(r.avg_queue_len, 10.0);
+  EXPECT_EQ(r.max_queue_len, 20u);
+}
+
+TEST(Collector, LatencyPercentilesOrdered) {
+  Collector c(1, 0, 1000);
+  for (int i = 1; i <= 1000; ++i) {
+    c.on_delivered(0, static_cast<Cycle>(i), true);
+  }
+  const SimResult r = c.finish(1);
+  EXPECT_LE(r.latency_p50, r.latency_p95);
+  EXPECT_LE(r.latency_p95, r.latency_p99);
+  EXPECT_NEAR(r.latency_p50, 500.0, 10.0);
+  EXPECT_NEAR(r.latency_p99, 990.0, 10.0);
+  EXPECT_DOUBLE_EQ(r.latency_min, 1.0);
+  EXPECT_DOUBLE_EQ(r.latency_max, 1000.0);
+}
+
+}  // namespace
+}  // namespace wormsim::metrics

@@ -1,0 +1,64 @@
+#include "metrics/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsim::metrics {
+namespace {
+
+TEST(TimeSeries, BucketsByInterval) {
+  TimeSeries ts(100);
+  ts.on_flits_ejected(0, 1);
+  ts.on_flits_ejected(99, 2);
+  ts.on_flits_ejected(100, 4);
+  ts.on_flits_ejected(250, 8);
+  ASSERT_EQ(ts.intervals().size(), 3u);
+  EXPECT_EQ(ts.intervals()[0].flits_ejected, 3u);
+  EXPECT_EQ(ts.intervals()[1].flits_ejected, 4u);
+  EXPECT_EQ(ts.intervals()[2].flits_ejected, 8u);
+  EXPECT_EQ(ts.intervals()[2].start_cycle, 200u);
+}
+
+TEST(TimeSeries, GapsCreateEmptyIntervals) {
+  TimeSeries ts(10);
+  ts.on_injected(5);
+  ts.on_injected(45);
+  ASSERT_EQ(ts.intervals().size(), 5u);
+  EXPECT_EQ(ts.intervals()[1].messages_injected, 0u);
+  EXPECT_EQ(ts.intervals()[4].messages_injected, 1u);
+}
+
+TEST(TimeSeries, AcceptedNormalization) {
+  TimeSeries ts(200);
+  ts.on_flits_ejected(10, 100);
+  // 100 flits / (200 cycles * 10 nodes) = 0.05.
+  EXPECT_DOUBLE_EQ(ts.accepted(0, 10), 0.05);
+}
+
+TEST(TimeSeries, LatencyPerInterval) {
+  TimeSeries ts(50);
+  ts.on_delivered(10, 30.0);
+  ts.on_delivered(20, 50.0);
+  ts.on_delivered(70, 100.0);
+  ASSERT_EQ(ts.intervals().size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.intervals()[0].latency.mean(), 40.0);
+  EXPECT_DOUBLE_EQ(ts.intervals()[1].latency.mean(), 100.0);
+}
+
+TEST(TimeSeries, DeadlocksAndQueue) {
+  TimeSeries ts(10);
+  ts.on_deadlock(3);
+  ts.on_deadlock(4);
+  ts.on_queue_sample(9, 42);
+  EXPECT_EQ(ts.intervals()[0].deadlock_detections, 2u);
+  EXPECT_EQ(ts.intervals()[0].queue_total, 42u);
+}
+
+TEST(TimeSeries, ZeroIntervalClampedToOne) {
+  TimeSeries ts(0);
+  EXPECT_EQ(ts.interval_cycles(), 1u);
+  ts.on_injected(7);
+  EXPECT_EQ(ts.intervals().size(), 8u);
+}
+
+}  // namespace
+}  // namespace wormsim::metrics

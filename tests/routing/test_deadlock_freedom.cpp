@@ -1,0 +1,166 @@
+// Channel-dependency-graph (CDG) analysis of the routing functions
+// [Dally/Seitz'87; Duato'93].
+//
+// A vertex is one virtual channel (link, vc). For every (current node,
+// destination) pair and every admissible candidate at the current node,
+// we add edges from each VC the message may hold there to each VC it may
+// request at the next hop toward the same destination. Deterministic DOR
+// must yield an acyclic CDG; Duato's protocol requires the *escape
+// sub-CDG* to be acyclic; TFAR is expected to be cyclic (which is why it
+// pairs with deadlock recovery).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "routing/routing.hpp"
+
+namespace wormsim::routing {
+namespace {
+
+using topo::KAryNCube;
+using topo::NodeId;
+
+struct Cdg {
+  std::size_t vertices = 0;
+  std::vector<std::vector<std::uint32_t>> adj;
+
+  void add_edge(std::uint32_t from, std::uint32_t to) {
+    adj[from].push_back(to);
+  }
+
+  bool has_cycle() const {
+    enum : std::uint8_t { White, Grey, Black };
+    std::vector<std::uint8_t> color(vertices, White);
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+    for (std::uint32_t s = 0; s < vertices; ++s) {
+      if (color[s] != White) continue;
+      stack.emplace_back(s, 0);
+      color[s] = Grey;
+      while (!stack.empty()) {
+        auto& [v, idx] = stack.back();
+        if (idx < adj[v].size()) {
+          const std::uint32_t w = adj[v][idx++];
+          if (color[w] == Grey) return true;
+          if (color[w] == White) {
+            color[w] = Grey;
+            stack.emplace_back(w, 0);
+          }
+        } else {
+          color[v] = Black;
+          stack.pop_back();
+        }
+      }
+    }
+    return false;
+  }
+};
+
+/// Build the CDG induced by a routing function. `escape_only` restricts
+/// both hop candidate sets to escape candidates (Duato's subfunction).
+Cdg build_cdg(const KAryNCube& t, const RoutingFunction& r, unsigned vcs,
+              bool escape_only) {
+  Cdg g;
+  g.vertices = static_cast<std::size_t>(t.num_nodes()) * t.num_channels() * vcs;
+  g.adj.resize(g.vertices);
+  const auto vertex = [&](NodeId node, topo::ChannelId c, unsigned v) {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::size_t>(node) * t.num_channels() + c) * vcs + v);
+  };
+
+  RouteResult here_route, next_route;
+  for (NodeId here = 0; here < t.num_nodes(); ++here) {
+    for (NodeId dst = 0; dst < t.num_nodes(); ++dst) {
+      if (here == dst) continue;
+      r.route(here, dst, here_route);
+      for (const auto& c1 : here_route.candidates) {
+        if (escape_only && !c1.escape) continue;
+        const NodeId next = t.neighbor(here, c1.channel);
+        if (next == dst) continue;  // delivered: no further dependency
+        r.route(next, dst, next_route);
+        for (const auto& c2 : next_route.candidates) {
+          if (escape_only && !c2.escape) continue;
+          for (unsigned v1 = 0; v1 < vcs; ++v1) {
+            if (!(c1.vc_mask & (1u << v1))) continue;
+            for (unsigned v2 = 0; v2 < vcs; ++v2) {
+              if (!(c2.vc_mask & (1u << v2))) continue;
+              g.add_edge(vertex(here, c1.channel, v1),
+                         vertex(next, c2.channel, v2));
+            }
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+class DorAcyclicityTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned, unsigned>> {
+};
+
+TEST_P(DorAcyclicityTest, CdgIsAcyclic) {
+  const auto [k, n, vcs] = GetParam();
+  const KAryNCube t(k, n);
+  auto r = make_routing(Algorithm::DOR, t, vcs);
+  const Cdg g = build_cdg(t, *r, vcs, /*escape_only=*/false);
+  EXPECT_FALSE(g.has_cycle())
+      << "DOR CDG has a cycle on " << k << "-ary " << n << "-cube, " << vcs
+      << " VCs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DorAcyclicityTest,
+    ::testing::Values(std::make_tuple(4u, 1u, 2u), std::make_tuple(8u, 1u, 2u),
+                      std::make_tuple(8u, 1u, 3u), std::make_tuple(4u, 2u, 2u),
+                      std::make_tuple(4u, 2u, 3u), std::make_tuple(5u, 2u, 3u),
+                      std::make_tuple(3u, 3u, 2u),
+                      std::make_tuple(4u, 3u, 3u)));
+
+class DuatoEscapeTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(DuatoEscapeTest, EscapeSubCdgIsAcyclic) {
+  const auto [k, n] = GetParam();
+  const KAryNCube t(k, n);
+  auto r = make_routing(Algorithm::Duato, t, 3);
+  const Cdg g = build_cdg(t, *r, 3, /*escape_only=*/true);
+  EXPECT_FALSE(g.has_cycle());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DuatoEscapeTest,
+                         ::testing::Values(std::make_tuple(4u, 1u),
+                                           std::make_tuple(8u, 1u),
+                                           std::make_tuple(4u, 2u),
+                                           std::make_tuple(5u, 2u),
+                                           std::make_tuple(3u, 3u)));
+
+TEST(TfarCdg, HasCyclesOnRing) {
+  // TFAR admits cyclic channel dependencies (all VCs, both directions):
+  // that is exactly why it needs deadlock detection + recovery.
+  const KAryNCube t(4, 1);
+  auto r = make_routing(Algorithm::TFAR, t, 2);
+  const Cdg g = build_cdg(t, *r, 2, /*escape_only=*/false);
+  EXPECT_TRUE(g.has_cycle());
+}
+
+TEST(TfarCdg, HasCyclesOnTorus) {
+  const KAryNCube t(4, 2);
+  auto r = make_routing(Algorithm::TFAR, t, 3);
+  const Cdg g = build_cdg(t, *r, 3, /*escape_only=*/false);
+  EXPECT_TRUE(g.has_cycle());
+}
+
+TEST(DuatoFullCdg, FullGraphMayCycleButEscapeLayerSaves) {
+  // Sanity for the theory: the full Duato CDG (adaptive + escape) is
+  // allowed to contain cycles; deadlock freedom comes from the acyclic,
+  // always-reachable escape layer.
+  const KAryNCube t(4, 2);
+  auto r = make_routing(Algorithm::Duato, t, 3);
+  const Cdg full = build_cdg(t, *r, 3, /*escape_only=*/false);
+  const Cdg escape = build_cdg(t, *r, 3, /*escape_only=*/true);
+  EXPECT_TRUE(full.has_cycle());
+  EXPECT_FALSE(escape.has_cycle());
+}
+
+}  // namespace
+}  // namespace wormsim::routing

@@ -1,0 +1,185 @@
+#include "routing/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+namespace wormsim::routing {
+namespace {
+
+using topo::ChannelId;
+using topo::KAryNCube;
+using topo::NodeId;
+
+TEST(Routing, ParseNames) {
+  EXPECT_EQ(parse_algorithm("tfar"), Algorithm::TFAR);
+  EXPECT_EQ(parse_algorithm("dor"), Algorithm::DOR);
+  EXPECT_EQ(parse_algorithm("duato"), Algorithm::Duato);
+  EXPECT_THROW(parse_algorithm("xy"), std::invalid_argument);
+}
+
+TEST(Routing, FactoryValidatesVcCounts) {
+  const KAryNCube t(4, 2);
+  EXPECT_THROW(make_routing(Algorithm::DOR, t, 1), std::invalid_argument);
+  EXPECT_THROW(make_routing(Algorithm::Duato, t, 2), std::invalid_argument);
+  EXPECT_NO_THROW(make_routing(Algorithm::TFAR, t, 1));
+  EXPECT_NO_THROW(make_routing(Algorithm::DOR, t, 2));
+  EXPECT_NO_THROW(make_routing(Algorithm::Duato, t, 3));
+}
+
+TEST(Routing, RecoveryRequirementFlags) {
+  const KAryNCube t(4, 2);
+  EXPECT_TRUE(make_routing(Algorithm::TFAR, t, 3)->needs_deadlock_recovery());
+  EXPECT_FALSE(make_routing(Algorithm::DOR, t, 3)->needs_deadlock_recovery());
+  EXPECT_FALSE(
+      make_routing(Algorithm::Duato, t, 3)->needs_deadlock_recovery());
+}
+
+class RoutingMinimalityTest
+    : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(RoutingMinimalityTest, EveryCandidateMovesCloser) {
+  const KAryNCube t(5, 2);
+  auto r = make_routing(GetParam(), t, 3);
+  RouteResult res;
+  for (NodeId a = 0; a < t.num_nodes(); ++a) {
+    for (NodeId b = 0; b < t.num_nodes(); ++b) {
+      if (a == b) continue;
+      r->route(a, b, res);
+      ASSERT_FALSE(res.candidates.empty()) << a << "->" << b;
+      for (const auto& cand : res.candidates) {
+        const NodeId via = t.neighbor(a, cand.channel);
+        EXPECT_EQ(t.distance(via, b), t.distance(a, b) - 1)
+            << algorithm_name(GetParam()) << " " << a << "->" << b;
+        EXPECT_NE(cand.vc_mask, 0u);
+      }
+    }
+  }
+}
+
+TEST_P(RoutingMinimalityTest, UsefulMaskMatchesTopology) {
+  const KAryNCube t(4, 3);
+  auto r = make_routing(GetParam(), t, 3);
+  RouteResult res;
+  for (NodeId a = 0; a < t.num_nodes(); a += 3) {
+    for (NodeId b = 0; b < t.num_nodes(); b += 5) {
+      if (a == b) continue;
+      r->route(a, b, res);
+      EXPECT_EQ(res.useful_phys_mask, t.useful_channels_mask(a, b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, RoutingMinimalityTest,
+                         ::testing::Values(Algorithm::TFAR, Algorithm::DOR,
+                                           Algorithm::Duato));
+
+TEST(Tfar, OffersEveryVcOfEveryUsefulChannel) {
+  const KAryNCube t(8, 3);
+  auto r = make_routing(Algorithm::TFAR, t, 3);
+  RouteResult res;
+  r->route(0, t.node_at({3, 2, 1}), res);
+  EXPECT_EQ(res.candidates.size(), 3u);  // three dims, one direction each
+  for (const auto& cand : res.candidates) {
+    EXPECT_EQ(cand.vc_mask, 0b111u);
+    EXPECT_FALSE(cand.escape);
+  }
+}
+
+TEST(Tfar, TieOffersBothDirections) {
+  const KAryNCube t(8, 1);
+  auto r = make_routing(Algorithm::TFAR, t, 2);
+  RouteResult res;
+  r->route(0, 4, res);  // distance 4 both ways on an 8-ring
+  EXPECT_EQ(res.candidates.size(), 2u);
+}
+
+TEST(Dor, SingleCandidateLowestDimensionFirst) {
+  const KAryNCube t(8, 3);
+  auto r = make_routing(Algorithm::DOR, t, 3);
+  RouteResult res;
+  // Differs in all three dims: must route in dim 0 first.
+  r->route(t.node_at({0, 0, 0}), t.node_at({2, 3, 4}), res);
+  ASSERT_EQ(res.candidates.size(), 1u);
+  EXPECT_EQ(topo::channel_dim(res.candidates[0].channel), 0u);
+  // Dim 0 aligned: dim 1 next.
+  r->route(t.node_at({2, 0, 0}), t.node_at({2, 3, 4}), res);
+  ASSERT_EQ(res.candidates.size(), 1u);
+  EXPECT_EQ(topo::channel_dim(res.candidates[0].channel), 1u);
+}
+
+TEST(Dor, DatelineClassSelectsVcSet) {
+  const KAryNCube t(8, 1);
+  auto r = make_routing(Algorithm::DOR, t, 3);
+  RouteResult res;
+  // 6 -> 2 going Plus crosses the wraparound: class 0 = VC {0}.
+  r->route(6, 2, res);
+  ASSERT_EQ(res.candidates.size(), 1u);
+  EXPECT_EQ(res.candidates[0].vc_mask, 0b001u);
+  // 1 -> 3 going Plus does not wrap: class 1 = VCs {1, 2}.
+  r->route(1, 3, res);
+  ASSERT_EQ(res.candidates.size(), 1u);
+  EXPECT_EQ(res.candidates[0].vc_mask, 0b110u);
+}
+
+TEST(Dor, IsDeterministic) {
+  const KAryNCube t(6, 2);
+  auto r = make_routing(Algorithm::DOR, t, 2);
+  RouteResult a, b;
+  for (NodeId s = 0; s < t.num_nodes(); ++s) {
+    for (NodeId d = 0; d < t.num_nodes(); ++d) {
+      if (s == d) continue;
+      r->route(s, d, a);
+      r->route(s, d, b);
+      ASSERT_EQ(a.candidates.size(), 1u);
+      EXPECT_EQ(a.candidates[0].channel, b.candidates[0].channel);
+      EXPECT_EQ(a.candidates[0].vc_mask, b.candidates[0].vc_mask);
+    }
+  }
+}
+
+TEST(Duato, AdaptiveFirstEscapeLast) {
+  const KAryNCube t(8, 3);
+  auto r = make_routing(Algorithm::Duato, t, 3);
+  RouteResult res;
+  r->route(t.node_at({0, 0, 0}), t.node_at({2, 3, 0}), res);
+  ASSERT_EQ(res.candidates.size(), 3u);  // 2 adaptive + 1 escape
+  EXPECT_FALSE(res.candidates[0].escape);
+  EXPECT_FALSE(res.candidates[1].escape);
+  EXPECT_TRUE(res.candidates[2].escape);
+  // Adaptive candidates use only VC 2 with 3 VCs.
+  EXPECT_EQ(res.candidates[0].vc_mask, 0b100u);
+  // Escape uses dateline VC 0 or 1 on the DOR channel.
+  EXPECT_TRUE(res.candidates[2].vc_mask == 0b01u ||
+              res.candidates[2].vc_mask == 0b10u);
+}
+
+TEST(Duato, EscapeAlwaysPresent) {
+  const KAryNCube t(4, 2);
+  auto r = make_routing(Algorithm::Duato, t, 3);
+  RouteResult res;
+  for (NodeId s = 0; s < t.num_nodes(); ++s) {
+    for (NodeId d = 0; d < t.num_nodes(); ++d) {
+      if (s == d) continue;
+      r->route(s, d, res);
+      unsigned escapes = 0;
+      for (const auto& c : res.candidates) escapes += c.escape;
+      EXPECT_EQ(escapes, 1u) << s << "->" << d;
+    }
+  }
+}
+
+TEST(Duato, MoreVcsWidenAdaptiveSet) {
+  const KAryNCube t(4, 2);
+  auto r = make_routing(Algorithm::Duato, t, 4);
+  RouteResult res;
+  r->route(0, 5, res);
+  for (const auto& c : res.candidates) {
+    if (!c.escape) {
+      EXPECT_EQ(c.vc_mask, 0b1100u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wormsim::routing

@@ -1,0 +1,62 @@
+#include "sim/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wormsim::sim {
+namespace {
+
+TEST(MessagePool, AllocateGivesFreshSlots) {
+  MessagePool pool;
+  const MsgId a = pool.allocate();
+  const MsgId b = pool.allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.live(), 2u);
+}
+
+TEST(MessagePool, ReleaseReusesSlot) {
+  MessagePool pool;
+  const MsgId a = pool.allocate();
+  pool[a].length = 99;
+  pool.release(a);
+  const MsgId b = pool.allocate();
+  EXPECT_EQ(a, b);
+  // Reused slot is reset to a fresh Message.
+  EXPECT_EQ(pool[b].length, 0u);
+  EXPECT_FALSE(pool[b].in_network);
+}
+
+TEST(MessagePool, CapacityGrowsOnlyWhenNeeded) {
+  MessagePool pool;
+  std::set<MsgId> ids;
+  for (int i = 0; i < 100; ++i) ids.insert(pool.allocate());
+  EXPECT_EQ(ids.size(), 100u);
+  EXPECT_EQ(pool.capacity(), 100u);
+  for (const MsgId id : ids) pool.release(id);
+  EXPECT_EQ(pool.live(), 0u);
+  for (int i = 0; i < 100; ++i) pool.allocate();
+  EXPECT_EQ(pool.capacity(), 100u);  // fully recycled
+}
+
+TEST(MessagePool, FieldsIndependentAcrossSlots) {
+  MessagePool pool;
+  const MsgId a = pool.allocate();
+  const MsgId b = pool.allocate();
+  pool[a].dst = 5;
+  pool[b].dst = 9;
+  EXPECT_EQ(pool[a].dst, 5u);
+  EXPECT_EQ(pool[b].dst, 9u);
+}
+
+TEST(VcRefTest, ValidityAndEquality) {
+  VcRef none;
+  EXPECT_FALSE(none.valid());
+  VcRef a{3, 1}, b{3, 1}, c{3, 2};
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace wormsim::sim

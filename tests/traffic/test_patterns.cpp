@@ -1,0 +1,191 @@
+#include "traffic/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace wormsim::traffic {
+namespace {
+
+using topo::KAryNCube;
+
+class PatternTest : public ::testing::Test {
+ protected:
+  KAryNCube topo_{8, 3};  // 512 nodes = 2^9
+  util::Rng rng_{1};
+};
+
+TEST_F(PatternTest, ParseRoundTrip) {
+  for (const auto kind :
+       {PatternKind::Uniform, PatternKind::Butterfly, PatternKind::Complement,
+        PatternKind::BitReversal, PatternKind::PerfectShuffle,
+        PatternKind::Transpose, PatternKind::Tornado,
+        PatternKind::NeighborPlus, PatternKind::Hotspot}) {
+    EXPECT_EQ(parse_pattern(pattern_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_pattern("nope"), std::invalid_argument);
+}
+
+TEST_F(PatternTest, UniformCoversAllDestinationsExceptSelf) {
+  const KAryNCube small(4, 2);
+  auto p = make_pattern(PatternKind::Uniform, small);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const NodeId d = p->destination(7, rng_);
+    EXPECT_NE(d, 7u);
+    EXPECT_LT(d, small.num_nodes());
+    seen.insert(d);
+  }
+  EXPECT_EQ(seen.size(), small.num_nodes() - 1);
+}
+
+TEST_F(PatternTest, UniformIsUnbiased) {
+  const KAryNCube small(4, 1);
+  auto p = make_pattern(PatternKind::Uniform, small);
+  std::map<NodeId, int> counts;
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) ++counts[p->destination(0, rng_)];
+  for (const auto& [node, count] : counts) {
+    EXPECT_NEAR(count, kDraws / 3, 400) << "node " << node;
+  }
+}
+
+TEST_F(PatternTest, ComplementInvertsBits) {
+  auto p = make_pattern(PatternKind::Complement, topo_);
+  EXPECT_EQ(p->destination(0, rng_), 511u);
+  EXPECT_EQ(p->destination(511, rng_), 0u);
+  EXPECT_EQ(p->destination(0b101010101, rng_), 0b010101010u);
+}
+
+TEST_F(PatternTest, ComplementIsInvolution) {
+  auto p = make_pattern(PatternKind::Complement, topo_);
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    EXPECT_EQ(p->destination(p->destination(n, rng_), rng_), n);
+  }
+}
+
+TEST_F(PatternTest, ButterflySwapsEndBits) {
+  auto p = make_pattern(PatternKind::Butterfly, topo_);
+  // 9 address bits: swap bit 0 and bit 8.
+  EXPECT_EQ(p->destination(0b000000001, rng_), 0b100000000u);
+  EXPECT_EQ(p->destination(0b100000000, rng_), 0b000000001u);
+  EXPECT_EQ(p->destination(0b100000001, rng_), 0b100000001u);  // fixed point
+  EXPECT_EQ(p->destination(0b010101010, rng_), 0b010101010u);  // middle bits
+}
+
+TEST_F(PatternTest, ButterflyIsInvolution) {
+  auto p = make_pattern(PatternKind::Butterfly, topo_);
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    EXPECT_EQ(p->destination(p->destination(n, rng_), rng_), n);
+  }
+}
+
+TEST_F(PatternTest, BitReversalReverses) {
+  auto p = make_pattern(PatternKind::BitReversal, topo_);
+  EXPECT_EQ(p->destination(0b000000001, rng_), 0b100000000u);
+  EXPECT_EQ(p->destination(0b110000000, rng_), 0b000000011u);
+  EXPECT_EQ(p->destination(0b000010000, rng_), 0b000010000u);  // palindrome
+}
+
+TEST_F(PatternTest, BitReversalIsInvolution) {
+  auto p = make_pattern(PatternKind::BitReversal, topo_);
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    EXPECT_EQ(p->destination(p->destination(n, rng_), rng_), n);
+  }
+}
+
+TEST_F(PatternTest, PerfectShuffleRotatesLeft) {
+  auto p = make_pattern(PatternKind::PerfectShuffle, topo_);
+  EXPECT_EQ(p->destination(0b100000000, rng_), 0b000000001u);
+  EXPECT_EQ(p->destination(0b000000001, rng_), 0b000000010u);
+  EXPECT_EQ(p->destination(0b010000001, rng_), 0b100000010u);
+}
+
+TEST_F(PatternTest, PerfectShuffleOrderDividesBits) {
+  // Applying the shuffle 9 times (= address width) returns to start.
+  auto p = make_pattern(PatternKind::PerfectShuffle, topo_);
+  for (NodeId n = 0; n < topo_.num_nodes(); n += 13) {
+    NodeId x = n;
+    for (int i = 0; i < 9; ++i) x = p->destination(x, rng_);
+    EXPECT_EQ(x, n);
+  }
+}
+
+TEST_F(PatternTest, AllBitPermutationsArePermutations) {
+  for (const auto kind : {PatternKind::Butterfly, PatternKind::Complement,
+                          PatternKind::BitReversal, PatternKind::PerfectShuffle,
+                          PatternKind::Transpose}) {
+    auto p = make_pattern(kind, topo_);
+    std::set<NodeId> image;
+    for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+      image.insert(p->destination(n, rng_));
+    }
+    EXPECT_EQ(image.size(), topo_.num_nodes())
+        << pattern_name(kind) << " is not a bijection";
+  }
+}
+
+TEST_F(PatternTest, BitPatternsRequirePowerOfTwoNodes) {
+  const KAryNCube odd(3, 3);  // 27 nodes
+  EXPECT_THROW(make_pattern(PatternKind::Butterfly, odd),
+               std::invalid_argument);
+  EXPECT_THROW(make_pattern(PatternKind::BitReversal, odd),
+               std::invalid_argument);
+  // Uniform and tornado do not care.
+  EXPECT_NO_THROW(make_pattern(PatternKind::Uniform, odd));
+  EXPECT_NO_THROW(make_pattern(PatternKind::Tornado, odd));
+}
+
+TEST_F(PatternTest, TornadoMovesNearHalfwayEachDim) {
+  auto p = make_pattern(PatternKind::Tornado, topo_);
+  const NodeId src = topo_.node_at({1, 2, 3});
+  const NodeId dst = p->destination(src, rng_);
+  const auto c = topo_.coords_of(dst);
+  EXPECT_EQ(c[0], 4);  // +3 (= ceil(8/2)-1)
+  EXPECT_EQ(c[1], 5);
+  EXPECT_EQ(c[2], 6);
+}
+
+TEST_F(PatternTest, NeighborPlusIsDim0Successor) {
+  auto p = make_pattern(PatternKind::NeighborPlus, topo_);
+  EXPECT_EQ(p->destination(topo_.node_at({7, 0, 0}), rng_),
+            topo_.node_at({0, 0, 0}));
+  EXPECT_EQ(p->destination(topo_.node_at({2, 5, 1}), rng_),
+            topo_.node_at({3, 5, 1}));
+}
+
+TEST_F(PatternTest, HotspotFraction) {
+  HotspotParams hp{.hotspot = 9, .fraction = 0.5};
+  auto p = make_pattern(PatternKind::Hotspot, topo_, hp);
+  int hits = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    hits += (p->destination(3, rng_) == 9);
+  }
+  // 50% direct + small uniform probability of hitting 9 by chance.
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.5, 0.02);
+}
+
+TEST_F(PatternTest, HotspotValidatesParams) {
+  EXPECT_THROW(
+      make_pattern(PatternKind::Hotspot, topo_, {.hotspot = 9999}),
+      std::invalid_argument);
+  EXPECT_THROW(make_pattern(PatternKind::Hotspot, topo_,
+                            {.hotspot = 0, .fraction = 1.5}),
+               std::invalid_argument);
+}
+
+TEST_F(PatternTest, ActiveNodeFraction) {
+  util::Rng rng(2);
+  // Complement: no fixed points (bits flip) -> all nodes active.
+  auto comp = make_pattern(PatternKind::Complement, topo_);
+  EXPECT_DOUBLE_EQ(active_node_fraction(*comp, topo_, rng), 1.0);
+  // Bit-reversal on 9 bits: palindromic ids are fixed points. There are
+  // 2^5 = 32 palindromes of 9 bits -> 480/512 active.
+  auto rev = make_pattern(PatternKind::BitReversal, topo_);
+  EXPECT_DOUBLE_EQ(active_node_fraction(*rev, topo_, rng), 480.0 / 512.0);
+}
+
+}  // namespace
+}  // namespace wormsim::traffic

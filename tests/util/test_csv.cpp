@@ -1,0 +1,50 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace wormsim::util {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.header({"a", "b", "c"});
+  csv.row(1, 2.5, "x");
+  EXPECT_EQ(os.str(), "a,b,c\n1,2.5,x\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, EscapesCommasAndQuotes) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, DoubleFormattingRoundTrips) {
+  EXPECT_EQ(CsvWriter::format(0.5), "0.5");
+  EXPECT_EQ(CsvWriter::format(0.0), "0");
+  const std::string s = CsvWriter::format(1.0 / 3.0);
+  EXPECT_NEAR(std::stod(s), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Csv, SpecialDoubles) {
+  EXPECT_EQ(CsvWriter::format(std::nan("")), "nan");
+  EXPECT_EQ(CsvWriter::format(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(CsvWriter::format(-std::numeric_limits<double>::infinity()),
+            "-inf");
+}
+
+TEST(Csv, IntegerTypes) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row(std::uint64_t{18446744073709551615ULL}, -42, std::uint8_t{7});
+  EXPECT_EQ(os.str(), "18446744073709551615,-42,7\n");
+}
+
+}  // namespace
+}  // namespace wormsim::util

@@ -1,0 +1,158 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace wormsim::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, JumpChangesStream) {
+  Xoshiro256 a(7), b(7);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 7ULL, 100ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 4 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  const double rate = 0.05;
+  double sum = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(rate);
+  // Mean should be 1/rate = 20 within a few standard errors.
+  EXPECT_NEAR(sum / kDraws, 1.0 / rate, 0.3);
+}
+
+TEST(Rng, GeometricMeanMatchesP) {
+  Rng rng(19);
+  const double p = 0.1;
+  double sum = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.geometric(p));
+  }
+  // E[geometric(p) failures before success] = (1-p)/p = 9.
+  EXPECT_NEAR(sum / kDraws, (1 - p) / p, 0.25);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(99);
+  Rng a = parent.split();
+  Rng b = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 256; ++i) equal += (a.bits() == b.bits());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, SplitStreamsAreNotShiftedCopies) {
+  // Regression test for the jump-commutes-with-stepping bug: child
+  // streams must not be one-draw-shifted copies of each other.
+  Rng parent(99);
+  Rng a = parent.split();
+  Rng b = parent.split();
+  std::vector<std::uint64_t> sa, sb;
+  for (int i = 0; i < 64; ++i) {
+    sa.push_back(a.bits());
+    sb.push_back(b.bits());
+  }
+  for (std::size_t shift = 1; shift <= 4; ++shift) {
+    int matches = 0;
+    for (std::size_t i = 0; i + shift < 64; ++i) {
+      matches += (sa[i + shift] == sb[i]);
+    }
+    EXPECT_EQ(matches, 0) << "streams shifted by " << shift << " coincide";
+  }
+}
+
+TEST(Rng, ManySplitsAllDistinct) {
+  Rng parent(7);
+  std::set<std::uint64_t> firsts;
+  for (int i = 0; i < 512; ++i) {
+    Rng child = parent.split();
+    firsts.insert(child.bits());
+  }
+  EXPECT_EQ(firsts.size(), 512u);
+}
+
+}  // namespace
+}  // namespace wormsim::util

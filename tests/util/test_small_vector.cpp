@@ -1,0 +1,66 @@
+#include "util/small_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormsim::util {
+namespace {
+
+TEST(SmallVector, StartsEmpty) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVector, PushAndIndex) {
+  SmallVector<int, 4> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.push_back(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[2], 3);
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 3);
+}
+
+TEST(SmallVector, FullAndClear) {
+  SmallVector<int, 2> v;
+  v.push_back(1);
+  EXPECT_FALSE(v.full());
+  v.push_back(2);
+  EXPECT_TRUE(v.full());
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, PopBack) {
+  SmallVector<int, 4> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.back(), 1);
+}
+
+TEST(SmallVector, RangeFor) {
+  SmallVector<int, 8> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(SmallVector, EmplaceAggregate) {
+  struct P {
+    int a;
+    int b;
+  };
+  SmallVector<P, 2> v;
+  v.emplace_back(1, 2);
+  EXPECT_EQ(v[0].a, 1);
+  EXPECT_EQ(v[0].b, 2);
+}
+
+}  // namespace
+}  // namespace wormsim::util

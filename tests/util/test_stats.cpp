@@ -1,0 +1,139 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wormsim::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  Rng rng(5);
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 100 - 50;
+    xs.push_back(x);
+    s.add(x);
+  }
+  double sum = 0;
+  for (double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(xs.size());
+  double ss = 0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), ss / static_cast<double>(xs.size()), 1e-9);
+  EXPECT_NEAR(s.sample_variance(), ss / static_cast<double>(xs.size() - 1),
+              1e-9);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(6);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform01() * 10;
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  Histogram h(1.0);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(Histogram, BinWidthScaling) {
+  Histogram h(10.0);
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.quantile(0.5), 500.0, 15.0);
+}
+
+TEST(Histogram, OverflowBucket) {
+  Histogram h(1.0, /*max_bins=*/10);
+  h.add(5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+  Histogram h(1.0);
+  h.add(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bins()[0], 1u);
+}
+
+TEST(FairnessCounters, PerfectlyFair) {
+  FairnessCounters f(4);
+  for (std::size_t n = 0; n < 4; ++n) {
+    for (int i = 0; i < 10; ++i) f.increment(n);
+  }
+  EXPECT_DOUBLE_EQ(f.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(f.max_abs_deviation_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(f.jain_index(), 1.0);
+}
+
+TEST(FairnessCounters, DeviationPct) {
+  FairnessCounters f(2);
+  for (int i = 0; i < 15; ++i) f.increment(0);
+  for (int i = 0; i < 5; ++i) f.increment(1);
+  // Mean 10: node 0 is +50%, node 1 is -50%.
+  EXPECT_DOUBLE_EQ(f.deviation_pct(0), 50.0);
+  EXPECT_DOUBLE_EQ(f.deviation_pct(1), -50.0);
+  EXPECT_DOUBLE_EQ(f.max_abs_deviation_pct(), 50.0);
+  EXPECT_LT(f.jain_index(), 1.0);
+}
+
+TEST(FairnessCounters, JainIndexKnownValue) {
+  // Jain index of (1, 0): (1)^2 / (2 * 1) = 0.5.
+  FairnessCounters f(2);
+  f.increment(0);
+  EXPECT_DOUBLE_EQ(f.jain_index(), 0.5);
+}
+
+}  // namespace
+}  // namespace wormsim::util

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Render the bench CSV outputs as standalone SVG figures.
+
+Dependency-free (standard library only) so it runs on bare build boxes.
+
+Usage:
+    build/bench/fig05_uniform16 > fig05.csv
+    tools/plot_figures.py fig05.csv -o fig05.svg
+    tools/plot_figures.py fig05.csv --y accepted_flits_node_cycle -o thr.svg
+
+The input is the standard sweep CSV (``mechanism,offered_...`` columns,
+'#' comment lines ignored). One line series is drawn per mechanism.
+"""
+
+import argparse
+import csv
+import sys
+
+PALETTE = ["#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#a463f2", "#97bbf5"]
+
+
+def read_rows(path):
+    rows = []
+    with open(path, newline="") as f:
+        header = None
+        for raw in f:
+            if not raw.strip() or raw.startswith("#"):
+                continue
+            cells = next(csv.reader([raw]))
+            if header is None:
+                header = cells
+                continue
+            rows.append(dict(zip(header, cells)))
+    if header is None:
+        raise SystemExit(f"{path}: no CSV header found")
+    return header, rows
+
+
+def fmt(v):
+    return f"{v:.6g}"
+
+
+def nice_ticks(lo, hi, count=5):
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    step = span / max(1, count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+def render_svg(series, xlabel, ylabel, title, logy=False):
+    import math
+
+    width, height = 720, 480
+    ml, mr, mt, mb = 70, 160, 40, 55
+    pw, ph = width - ml - mr, height - mt - mb
+
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts if not logy or y > 0]
+    if not xs or not ys:
+        raise SystemExit("nothing to plot")
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if logy:
+        y0, y1 = math.log10(max(y0, 1e-9)), math.log10(max(y1, 1e-9))
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+
+    def px(x):
+        return ml + (x - x0) / (x1 - x0) * pw
+
+    def py(y):
+        if logy:
+            y = math.log10(max(y, 1e-9))
+        return mt + ph - (y - y0) / (y1 - y0) * ph
+
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{ml}" y="22" font-size="14" font-weight="bold">{title}</text>',
+    ]
+    # Axes and ticks.
+    out.append(
+        f'<line x1="{ml}" y1="{mt + ph}" x2="{ml + pw}" y2="{mt + ph}" '
+        'stroke="black"/>'
+    )
+    out.append(f'<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{mt + ph}" stroke="black"/>')
+    for tx in nice_ticks(x0, x1):
+        out.append(
+            f'<line x1="{fmt(px(tx))}" y1="{mt + ph}" x2="{fmt(px(tx))}" '
+            f'y2="{mt + ph + 4}" stroke="black"/>'
+        )
+        out.append(
+            f'<text x="{fmt(px(tx))}" y="{mt + ph + 18}" '
+            f'text-anchor="middle">{tx:.3g}</text>'
+        )
+    for ty in nice_ticks(y0, y1):
+        disp = 10**ty if logy else ty
+        yy = mt + ph - (ty - y0) / (y1 - y0) * ph
+        out.append(
+            f'<line x1="{ml - 4}" y1="{fmt(yy)}" x2="{ml}" y2="{fmt(yy)}" '
+            'stroke="black"/>'
+        )
+        out.append(
+            f'<text x="{ml - 8}" y="{fmt(yy + 4)}" '
+            f'text-anchor="end">{disp:.3g}</text>'
+        )
+    out.append(
+        f'<text x="{ml + pw / 2}" y="{height - 12}" '
+        f'text-anchor="middle">{xlabel}</text>'
+    )
+    out.append(
+        f'<text x="18" y="{mt + ph / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 18 {mt + ph / 2})">{ylabel}</text>'
+    )
+
+    for i, (name, pts) in enumerate(series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        pts = sorted(pts)
+        path = " ".join(
+            f"{'M' if j == 0 else 'L'}{fmt(px(x))},{fmt(py(y))}"
+            for j, (x, y) in enumerate(pts)
+        )
+        out.append(f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>')
+        for x, y in pts:
+            out.append(
+                f'<circle cx="{fmt(px(x))}" cy="{fmt(py(y))}" r="3" fill="{color}"/>'
+            )
+        ly = mt + 14 + i * 18
+        out.append(
+            f'<line x1="{ml + pw + 12}" y1="{ly - 4}" x2="{ml + pw + 36}" '
+            f'y2="{ly - 4}" stroke="{color}" stroke-width="2"/>'
+        )
+        out.append(f'<text x="{ml + pw + 42}" y="{ly}">{name}</text>')
+
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csv", help="sweep CSV from a bench binary")
+    ap.add_argument("-o", "--output", default=None, help="output SVG path")
+    ap.add_argument("--x", default="offered_flits_node_cycle")
+    ap.add_argument("--y", default="latency_avg_cycles")
+    ap.add_argument("--series", default="mechanism",
+                    help="column naming the series (omit if absent)")
+    ap.add_argument("--logy", action="store_true",
+                    help="log-scale y (useful for latency blow-ups)")
+    ap.add_argument("--title", default=None)
+    args = ap.parse_args()
+
+    header, rows = read_rows(args.csv)
+    if args.x not in header or args.y not in header:
+        raise SystemExit(
+            f"columns {args.x!r}/{args.y!r} not in CSV header {header}")
+    series = {}
+    for row in rows:
+        try:
+            x, y = float(row[args.x]), float(row[args.y])
+        except ValueError:
+            continue  # summary/footer rows
+        key = row.get(args.series, "data") if args.series in header else "data"
+        series.setdefault(key, []).append((x, y))
+
+    svg = render_svg(series, args.x, args.y,
+                     args.title or f"{args.csv}: {args.y}", args.logy)
+    out = args.output or args.csv.rsplit(".", 1)[0] + ".svg"
+    with open(out, "w") as f:
+        f.write(svg)
+    print(f"wrote {out}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
