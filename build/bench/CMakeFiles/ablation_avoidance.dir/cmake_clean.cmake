@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_avoidance.dir/ablation_avoidance.cpp.o"
+  "CMakeFiles/ablation_avoidance.dir/ablation_avoidance.cpp.o.d"
+  "ablation_avoidance"
+  "ablation_avoidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_avoidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

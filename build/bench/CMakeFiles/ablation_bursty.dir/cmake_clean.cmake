@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bursty.dir/ablation_bursty.cpp.o"
+  "CMakeFiles/ablation_bursty.dir/ablation_bursty.cpp.o.d"
+  "ablation_bursty"
+  "ablation_bursty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bursty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vcs.dir/ablation_vcs.cpp.o"
+  "CMakeFiles/ablation_vcs.dir/ablation_vcs.cpp.o.d"
+  "ablation_vcs"
+  "ablation_vcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_degradation.dir/fig01_degradation.cpp.o"
+  "CMakeFiles/fig01_degradation.dir/fig01_degradation.cpp.o.d"
+  "fig01_degradation"
+  "fig01_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_routing_occurrences.dir/fig02_routing_occurrences.cpp.o"
+  "CMakeFiles/fig02_routing_occurrences.dir/fig02_routing_occurrences.cpp.o.d"
+  "fig02_routing_occurrences"
+  "fig02_routing_occurrences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_routing_occurrences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

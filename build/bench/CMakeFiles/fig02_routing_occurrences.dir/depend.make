@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_routing_occurrences.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_fairness.dir/fig04_fairness.cpp.o"
+  "CMakeFiles/fig04_fairness.dir/fig04_fairness.cpp.o.d"
+  "fig04_fairness"
+  "fig04_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_uniform16.dir/fig05_uniform16.cpp.o"
+  "CMakeFiles/fig05_uniform16.dir/fig05_uniform16.cpp.o.d"
+  "fig05_uniform16"
+  "fig05_uniform16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_uniform16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_uniform64.dir/fig06_uniform64.cpp.o"
+  "CMakeFiles/fig06_uniform64.dir/fig06_uniform64.cpp.o.d"
+  "fig06_uniform64"
+  "fig06_uniform64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_uniform64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

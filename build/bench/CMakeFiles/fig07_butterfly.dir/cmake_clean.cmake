@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_butterfly.dir/fig07_butterfly.cpp.o"
+  "CMakeFiles/fig07_butterfly.dir/fig07_butterfly.cpp.o.d"
+  "fig07_butterfly"
+  "fig07_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

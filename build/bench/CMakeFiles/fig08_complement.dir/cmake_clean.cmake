@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_complement.dir/fig08_complement.cpp.o"
+  "CMakeFiles/fig08_complement.dir/fig08_complement.cpp.o.d"
+  "fig08_complement"
+  "fig08_complement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_complement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_bitreversal.dir/fig09_bitreversal.cpp.o"
+  "CMakeFiles/fig09_bitreversal.dir/fig09_bitreversal.cpp.o.d"
+  "fig09_bitreversal"
+  "fig09_bitreversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bitreversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

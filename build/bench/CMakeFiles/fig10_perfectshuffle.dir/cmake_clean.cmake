@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_perfectshuffle.dir/fig10_perfectshuffle.cpp.o"
+  "CMakeFiles/fig10_perfectshuffle.dir/fig10_perfectshuffle.cpp.o.d"
+  "fig10_perfectshuffle"
+  "fig10_perfectshuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_perfectshuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

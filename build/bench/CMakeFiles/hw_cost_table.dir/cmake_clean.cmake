@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_cost_table.dir/hw_cost_table.cpp.o"
+  "CMakeFiles/hw_cost_table.dir/hw_cost_table.cpp.o.d"
+  "hw_cost_table"
+  "hw_cost_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_cost_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

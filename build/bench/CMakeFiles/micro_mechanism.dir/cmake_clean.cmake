@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mechanism.dir/micro_mechanism.cpp.o"
+  "CMakeFiles/micro_mechanism.dir/micro_mechanism.cpp.o.d"
+  "micro_mechanism"
+  "micro_mechanism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

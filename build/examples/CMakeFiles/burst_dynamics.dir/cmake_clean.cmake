@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_dynamics.dir/burst_dynamics.cpp.o"
+  "CMakeFiles/burst_dynamics.dir/burst_dynamics.cpp.o.d"
+  "burst_dynamics"
+  "burst_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_limiter.dir/custom_limiter.cpp.o"
+  "CMakeFiles/custom_limiter.dir/custom_limiter.cpp.o.d"
+  "custom_limiter"
+  "custom_limiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_limiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

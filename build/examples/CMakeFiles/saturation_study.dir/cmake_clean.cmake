@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saturation_study.dir/saturation_study.cpp.o"
+  "CMakeFiles/saturation_study.dir/saturation_study.cpp.o.d"
+  "saturation_study"
+  "saturation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saturation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormsim_config.dir/presets.cpp.o"
+  "CMakeFiles/wormsim_config.dir/presets.cpp.o.d"
+  "libwormsim_config.a"
+  "libwormsim_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormsim_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

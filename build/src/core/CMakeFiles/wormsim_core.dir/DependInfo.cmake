@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alo.cpp" "src/core/CMakeFiles/wormsim_core.dir/alo.cpp.o" "gcc" "src/core/CMakeFiles/wormsim_core.dir/alo.cpp.o.d"
+  "/root/repo/src/core/alo_gates.cpp" "src/core/CMakeFiles/wormsim_core.dir/alo_gates.cpp.o" "gcc" "src/core/CMakeFiles/wormsim_core.dir/alo_gates.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/wormsim_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/wormsim_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/dril.cpp" "src/core/CMakeFiles/wormsim_core.dir/dril.cpp.o" "gcc" "src/core/CMakeFiles/wormsim_core.dir/dril.cpp.o.d"
+  "/root/repo/src/core/limiter.cpp" "src/core/CMakeFiles/wormsim_core.dir/limiter.cpp.o" "gcc" "src/core/CMakeFiles/wormsim_core.dir/limiter.cpp.o.d"
+  "/root/repo/src/core/linear_function.cpp" "src/core/CMakeFiles/wormsim_core.dir/linear_function.cpp.o" "gcc" "src/core/CMakeFiles/wormsim_core.dir/linear_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wormsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/wormsim_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/wormsim_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

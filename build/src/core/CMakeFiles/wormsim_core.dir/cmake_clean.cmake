@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormsim_core.dir/alo.cpp.o"
+  "CMakeFiles/wormsim_core.dir/alo.cpp.o.d"
+  "CMakeFiles/wormsim_core.dir/alo_gates.cpp.o"
+  "CMakeFiles/wormsim_core.dir/alo_gates.cpp.o.d"
+  "CMakeFiles/wormsim_core.dir/cost_model.cpp.o"
+  "CMakeFiles/wormsim_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/wormsim_core.dir/dril.cpp.o"
+  "CMakeFiles/wormsim_core.dir/dril.cpp.o.d"
+  "CMakeFiles/wormsim_core.dir/limiter.cpp.o"
+  "CMakeFiles/wormsim_core.dir/limiter.cpp.o.d"
+  "CMakeFiles/wormsim_core.dir/linear_function.cpp.o"
+  "CMakeFiles/wormsim_core.dir/linear_function.cpp.o.d"
+  "libwormsim_core.a"
+  "libwormsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormsim_deadlock.dir/recovery.cpp.o"
+  "CMakeFiles/wormsim_deadlock.dir/recovery.cpp.o.d"
+  "libwormsim_deadlock.a"
+  "libwormsim_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormsim_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormsim_harness.dir/replay.cpp.o"
+  "CMakeFiles/wormsim_harness.dir/replay.cpp.o.d"
+  "CMakeFiles/wormsim_harness.dir/sweep.cpp.o"
+  "CMakeFiles/wormsim_harness.dir/sweep.cpp.o.d"
+  "libwormsim_harness.a"
+  "libwormsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormsim_metrics.dir/collector.cpp.o"
+  "CMakeFiles/wormsim_metrics.dir/collector.cpp.o.d"
+  "libwormsim_metrics.a"
+  "libwormsim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormsim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

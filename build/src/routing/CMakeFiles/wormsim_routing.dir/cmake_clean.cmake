@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormsim_routing.dir/routing.cpp.o"
+  "CMakeFiles/wormsim_routing.dir/routing.cpp.o.d"
+  "CMakeFiles/wormsim_routing.dir/selection.cpp.o"
+  "CMakeFiles/wormsim_routing.dir/selection.cpp.o.d"
+  "libwormsim_routing.a"
+  "libwormsim_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormsim_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

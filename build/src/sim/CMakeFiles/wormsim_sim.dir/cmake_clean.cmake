@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormsim_sim.dir/network.cpp.o"
+  "CMakeFiles/wormsim_sim.dir/network.cpp.o.d"
+  "CMakeFiles/wormsim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wormsim_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/wormsim_sim.dir/utilization.cpp.o"
+  "CMakeFiles/wormsim_sim.dir/utilization.cpp.o.d"
+  "libwormsim_sim.a"
+  "libwormsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

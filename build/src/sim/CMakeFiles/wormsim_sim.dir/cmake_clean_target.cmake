@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwormsim_sim.a"
+)

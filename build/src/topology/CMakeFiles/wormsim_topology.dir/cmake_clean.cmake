@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormsim_topology.dir/kary_ncube.cpp.o"
+  "CMakeFiles/wormsim_topology.dir/kary_ncube.cpp.o.d"
+  "libwormsim_topology.a"
+  "libwormsim_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormsim_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

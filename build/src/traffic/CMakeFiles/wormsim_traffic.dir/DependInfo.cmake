@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/injection_process.cpp" "src/traffic/CMakeFiles/wormsim_traffic.dir/injection_process.cpp.o" "gcc" "src/traffic/CMakeFiles/wormsim_traffic.dir/injection_process.cpp.o.d"
+  "/root/repo/src/traffic/patterns.cpp" "src/traffic/CMakeFiles/wormsim_traffic.dir/patterns.cpp.o" "gcc" "src/traffic/CMakeFiles/wormsim_traffic.dir/patterns.cpp.o.d"
+  "/root/repo/src/traffic/trace.cpp" "src/traffic/CMakeFiles/wormsim_traffic.dir/trace.cpp.o" "gcc" "src/traffic/CMakeFiles/wormsim_traffic.dir/trace.cpp.o.d"
+  "/root/repo/src/traffic/workload.cpp" "src/traffic/CMakeFiles/wormsim_traffic.dir/workload.cpp.o" "gcc" "src/traffic/CMakeFiles/wormsim_traffic.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wormsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/wormsim_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormsim_traffic.dir/injection_process.cpp.o"
+  "CMakeFiles/wormsim_traffic.dir/injection_process.cpp.o.d"
+  "CMakeFiles/wormsim_traffic.dir/patterns.cpp.o"
+  "CMakeFiles/wormsim_traffic.dir/patterns.cpp.o.d"
+  "CMakeFiles/wormsim_traffic.dir/trace.cpp.o"
+  "CMakeFiles/wormsim_traffic.dir/trace.cpp.o.d"
+  "CMakeFiles/wormsim_traffic.dir/workload.cpp.o"
+  "CMakeFiles/wormsim_traffic.dir/workload.cpp.o.d"
+  "libwormsim_traffic.a"
+  "libwormsim_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormsim_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

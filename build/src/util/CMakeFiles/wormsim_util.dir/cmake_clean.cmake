@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormsim_util.dir/cli.cpp.o"
+  "CMakeFiles/wormsim_util.dir/cli.cpp.o.d"
+  "CMakeFiles/wormsim_util.dir/csv.cpp.o"
+  "CMakeFiles/wormsim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/wormsim_util.dir/rng.cpp.o"
+  "CMakeFiles/wormsim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/wormsim_util.dir/stats.cpp.o"
+  "CMakeFiles/wormsim_util.dir/stats.cpp.o.d"
+  "libwormsim_util.a"
+  "libwormsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_alo.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_alo.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_alo_gates.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_alo_gates.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cost_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dril.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dril.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_linear_function.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_linear_function.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

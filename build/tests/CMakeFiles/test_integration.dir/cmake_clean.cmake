@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_golden.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_golden.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_mechanisms.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_mechanisms.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_presets.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_presets.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_replay.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_replay.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_saturation.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_saturation.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing.dir/routing/test_deadlock_freedom.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_deadlock_freedom.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_routing.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_routing.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_selection.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_selection.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_selection_property.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_selection_property.cpp.o.d"
+  "test_routing"
+  "test_routing.pdb"
+  "test_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

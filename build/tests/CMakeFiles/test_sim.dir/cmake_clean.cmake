@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_deadlock_recovery.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_deadlock_recovery.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_edge_behaviors.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_edge_behaviors.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_invariants.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_invariants.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_message_pool.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_message_pool.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_network.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_network.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_probe_and_escape.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_probe_and_escape.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_single_message.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_single_message.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_utilization.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_utilization.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_wormhole.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_wormhole.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
