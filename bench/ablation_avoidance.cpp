@@ -36,6 +36,9 @@ int main(int argc, char** argv) {
     sweep.offered_loads = harness::load_range(
         args.get_double("min-load", 0.1), args.get_double("max-load", 1.2),
         static_cast<unsigned>(args.get_uint("loads", 7)));
+    sweep.jobs = harness::jobs_flag(args);
+    metrics::SweepStats stats;
+    sweep.stats = &stats;
     sweep.on_point = [](const harness::SweepPoint& p) {
       std::fprintf(stderr, "  [%s @ %.3f] accepted=%.3f latency=%.1f\n",
                    std::string(core::limiter_name(p.limiter)).c_str(),
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
     std::cout << "# expectation: " << spec.expectation << "\n";
     std::cout << harness::describe(cfg) << "\n";
     harness::write_sweep_csv(std::cout, harness::run_sweep(sweep));
+    std::fprintf(stderr, "# %s\n", stats.summary().c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

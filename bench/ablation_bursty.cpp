@@ -13,8 +13,13 @@
 // the degraded regime (deadlock detections, latency tail blow-up) and
 // delivers less than ALO; with smooth traffic at the same mean both
 // mechanisms behave identically.
+#include <mutex>
+#include <vector>
+
 #include "fig_common.hpp"
 #include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace wormsim;
 
@@ -55,34 +60,53 @@ int main(int argc, char** argv) {
                 "accepted_flits_node_cycle", "latency_avg_cycles",
                 "latency_p99_cycles", "deadlock_pct"});
 
+    struct Cell {
+      const char* process;
+      core::LimiterKind limiter;
+      double mean;
+      std::uint64_t load_stream;  // seed stream: depends on the load ONLY
+    };
+    std::vector<Cell> grid;
     for (const char* process : {"exponential", "bursty"}) {
       for (const auto limiter :
            {core::LimiterKind::None, core::LimiterKind::ALO}) {
-        std::uint64_t load_index = 0;
-        for (const double mean : means) {
-          config::SimConfig cfg = base;
-          cfg.workload.process = traffic::parse_process(process);
-          cfg.workload.offered_flits_per_node_cycle = mean;
-          cfg.sim.limiter.kind = limiter;
-          // Seed depends on the load only: mechanisms compared at the
-          // same point see the identical workload and burst schedule.
-          cfg.seed = base.seed + 0x9e3779b9ULL * ++load_index;
-          const auto r = config::run_experiment(cfg);
-          const double burst =
-              cfg.workload.process == traffic::ProcessKind::Bursty
-                  ? mean / cfg.workload.bursty.duty_cycle
-                  : mean;
-          std::fprintf(stderr,
-                       "  [%s/%s @ %.2f] accepted=%.3f p99=%.0f dl=%.2f%%\n",
-                       process,
-                       std::string(core::limiter_name(limiter)).c_str(), mean,
-                       r.accepted_flits_per_node_cycle, r.latency_p99,
-                       r.deadlock_pct);
-          csv.row(process, core::limiter_name(limiter), mean, burst,
-                  r.accepted_flits_per_node_cycle, r.latency_mean,
-                  r.latency_p99, r.deadlock_pct);
+        for (std::size_t li = 0; li < means.size(); ++li) {
+          grid.push_back({process, limiter, means[li], li});
         }
       }
+    }
+
+    std::vector<metrics::SimResult> results(grid.size());
+    std::mutex progress_mu;
+    util::parallel_for(
+        grid.size(), harness::jobs_flag(args), [&](std::size_t i) {
+          const Cell& c = grid[i];
+          config::SimConfig cfg = base;
+          cfg.workload.process = traffic::parse_process(c.process);
+          cfg.workload.offered_flits_per_node_cycle = c.mean;
+          cfg.sim.limiter.kind = c.limiter;
+          // Seed depends on the load only: mechanisms compared at the
+          // same point see the identical workload and burst schedule.
+          cfg.seed = util::derive_stream_seed(base.seed, c.load_stream);
+          results[i] = config::run_experiment(cfg);
+          const std::lock_guard<std::mutex> lock(progress_mu);
+          std::fprintf(stderr,
+                       "  [%s/%s @ %.2f] accepted=%.3f p99=%.0f dl=%.2f%%\n",
+                       c.process,
+                       std::string(core::limiter_name(c.limiter)).c_str(),
+                       c.mean, results[i].accepted_flits_per_node_cycle,
+                       results[i].latency_p99, results[i].deadlock_pct);
+        });
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const Cell& c = grid[i];
+      const auto& r = results[i];
+      const double burst = traffic::parse_process(c.process) ==
+                                   traffic::ProcessKind::Bursty
+                               ? c.mean / base.workload.bursty.duty_cycle
+                               : c.mean;
+      csv.row(c.process, core::limiter_name(c.limiter), c.mean, burst,
+              r.accepted_flits_per_node_cycle, r.latency_mean,
+              r.latency_p99, r.deadlock_pct);
     }
     return 0;
   } catch (const std::exception& e) {

@@ -7,10 +7,14 @@
 // rule-a-only, rule-b-only and full ALO side by side (plus None as the
 // reference) and prints the usual sweep columns.
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "core/alo.hpp"
 #include "fig_common.hpp"
 #include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace wormsim;
 
@@ -82,20 +86,38 @@ int main(int argc, char** argv) {
     csv.header({"variant", "offered_flits_node_cycle", "latency_avg_cycles",
                 "accepted_flits_node_cycle", "deadlock_pct",
                 "avg_queue_len"});
-    unsigned index = 0;
+
+    // Flatten the variant × load grid and run the points on the shared
+    // thread pool; slots are indexed by grid position (which also fixes
+    // each point's RNG stream), so rows print in the serial order for
+    // any --jobs value.
+    struct Cell {
+      const char* variant;
+      double offered;
+    };
+    std::vector<Cell> grid;
     for (const char* variant : {"none", "rule-a", "rule-b", "alo"}) {
-      for (const double offered : loads) {
-        config::SimConfig cfg = base;
-        cfg.workload.offered_flits_per_node_cycle = offered;
-        cfg.seed = base.seed + 0x9e3779b9ULL * ++index;
-        const auto r = run_point(cfg, variant);
-        std::fprintf(stderr, "  [%s @ %.3f] accepted=%.3f latency=%.1f\n",
-                     variant, offered, r.accepted_flits_per_node_cycle,
-                     r.latency_mean);
-        csv.row(variant, offered, r.latency_mean,
-                r.accepted_flits_per_node_cycle, r.deadlock_pct,
-                r.avg_queue_len);
-      }
+      for (const double offered : loads) grid.push_back({variant, offered});
+    }
+    std::vector<metrics::SimResult> results(grid.size());
+    std::mutex progress_mu;
+    util::parallel_for(
+        grid.size(), harness::jobs_flag(args), [&](std::size_t i) {
+          config::SimConfig cfg = base;
+          cfg.workload.offered_flits_per_node_cycle = grid[i].offered;
+          cfg.seed = util::derive_stream_seed(base.seed, i);
+          results[i] = run_point(cfg, grid[i].variant);
+          const std::lock_guard<std::mutex> lock(progress_mu);
+          std::fprintf(stderr, "  [%s @ %.3f] accepted=%.3f latency=%.1f\n",
+                       grid[i].variant, grid[i].offered,
+                       results[i].accepted_flits_per_node_cycle,
+                       results[i].latency_mean);
+        });
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const auto& r = results[i];
+      csv.row(grid[i].variant, grid[i].offered, r.latency_mean,
+              r.accepted_flits_per_node_cycle, r.deadlock_pct,
+              r.avg_queue_len);
     }
     return 0;
   } catch (const std::exception& e) {

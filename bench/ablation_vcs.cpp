@@ -6,8 +6,13 @@
 // bench quantifies the trade: peak accepted traffic and post-saturation
 // behaviour for 1..4 VCs (None vs ALO), and for 2/4/8-flit buffers at 3
 // VCs.
+#include <mutex>
+#include <vector>
+
 #include "fig_common.hpp"
 #include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace wormsim;
 
@@ -15,12 +20,12 @@ namespace {
 
 metrics::SimResult run_point(config::SimConfig cfg, unsigned vcs,
                              unsigned buf, core::LimiterKind limiter,
-                             double offered, std::uint64_t salt) {
+                             double offered, std::uint64_t stream) {
   cfg.sim.net.num_vcs = vcs;
   cfg.sim.net.buf_flits = buf;
   cfg.sim.limiter.kind = limiter;
   cfg.workload.offered_flits_per_node_cycle = offered;
-  cfg.seed += 0x9e3779b9ULL * salt;
+  cfg.seed = util::derive_stream_seed(cfg.seed, stream);
   return config::run_experiment(cfg);
 }
 
@@ -49,30 +54,47 @@ int main(int argc, char** argv) {
                 "accepted_flits_node_cycle", "latency_avg_cycles",
                 "deadlock_pct"});
 
-    std::uint64_t salt = 0;
-    const auto emit = [&](unsigned vcs, unsigned buf,
-                          core::LimiterKind limiter, double offered) {
-      const auto r = run_point(base, vcs, buf, limiter, offered, ++salt);
-      std::fprintf(stderr, "  [vcs=%u buf=%u %s @ %.2f] accepted=%.3f\n", vcs,
-                   buf, std::string(core::limiter_name(limiter)).c_str(),
-                   offered, r.accepted_flits_per_node_cycle);
-      csv.row(vcs, buf, core::limiter_name(limiter), offered,
-              r.accepted_flits_per_node_cycle, r.latency_mean,
-              r.deadlock_pct);
+    // Enumerate the grid first (the enumeration order fixes both the
+    // row order and each point's RNG stream), then run the points on
+    // the shared thread pool and emit rows from their slots.
+    struct Cell {
+      unsigned vcs;
+      unsigned buf;
+      core::LimiterKind limiter;
+      double offered;
     };
-
+    std::vector<Cell> grid;
     for (const unsigned vcs : {1u, 2u, 3u, 4u}) {
       for (const auto limiter :
            {core::LimiterKind::None, core::LimiterKind::ALO}) {
-        emit(vcs, base.sim.net.buf_flits, limiter, low);
-        emit(vcs, base.sim.net.buf_flits, limiter, high);
+        grid.push_back({vcs, base.sim.net.buf_flits, limiter, low});
+        grid.push_back({vcs, base.sim.net.buf_flits, limiter, high});
       }
     }
     for (const unsigned buf : {2u, 4u, 8u}) {
       for (const auto limiter :
            {core::LimiterKind::None, core::LimiterKind::ALO}) {
-        emit(3, buf, limiter, high);
+        grid.push_back({3, buf, limiter, high});
       }
+    }
+
+    std::vector<metrics::SimResult> results(grid.size());
+    std::mutex progress_mu;
+    util::parallel_for(
+        grid.size(), harness::jobs_flag(args), [&](std::size_t i) {
+          const Cell& c = grid[i];
+          results[i] = run_point(base, c.vcs, c.buf, c.limiter, c.offered, i);
+          const std::lock_guard<std::mutex> lock(progress_mu);
+          std::fprintf(stderr, "  [vcs=%u buf=%u %s @ %.2f] accepted=%.3f\n",
+                       c.vcs, c.buf,
+                       std::string(core::limiter_name(c.limiter)).c_str(),
+                       c.offered, results[i].accepted_flits_per_node_cycle);
+        });
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const Cell& c = grid[i];
+      csv.row(c.vcs, c.buf, core::limiter_name(c.limiter), c.offered,
+              results[i].accepted_flits_per_node_cycle,
+              results[i].latency_mean, results[i].deadlock_pct);
     }
     return 0;
   } catch (const std::exception& e) {

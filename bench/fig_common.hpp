@@ -3,11 +3,16 @@
 // Every figure bench reproduces one figure of the paper at full scale
 // (8-ary 3-cube, 512 nodes) by default. Environment/flags:
 //   WORMSIM_FAST=1        shrink to the 64-node preset (CI-sized)
+//   WORMSIM_JOBS=N        default sweep parallelism (--jobs overrides)
+//   --jobs N              worker threads (0 = auto, 1 = serial engine)
 //   --loads N             number of offered-load points (default 7)
 //   --min-load/--max-load sweep range in flits/node/cycle
 //   --warmup/--measure/--drain, --k/--n/--vcs/--msg-len/--pattern/--seed
 //
-// Output: a banner line, the expectation note from the paper, then CSV.
+// Output: a banner line, the expectation note from the paper, then CSV
+// on stdout; per-point progress and the sweep's wall-clock/points-per-
+// second summary on stderr. CSV contents are identical for every job
+// count (per-point seed streams are split from the base seed by index).
 #pragma once
 
 #include <cstdio>
@@ -60,6 +65,9 @@ inline int run_figure(const FigureSpec& spec, int argc, char** argv) {
         args.get_double("min-load", spec.min_load),
         args.get_double("max-load", spec.max_load),
         static_cast<unsigned>(args.get_uint("loads", spec.loads)));
+    sweep.jobs = harness::jobs_flag(args);
+    metrics::SweepStats stats;
+    sweep.stats = &stats;
     sweep.on_point = [](const harness::SweepPoint& p) {
       std::fprintf(stderr, "  [%s @ %.3f] accepted=%.3f latency=%.1f dl=%.2f%%%s\n",
                    std::string(core::limiter_name(p.limiter)).c_str(),
@@ -75,6 +83,7 @@ inline int run_figure(const FigureSpec& spec, int argc, char** argv) {
     std::cout << harness::describe(cfg) << "\n";
     const auto points = harness::run_sweep(sweep);
     harness::write_sweep_csv(std::cout, points);
+    std::fprintf(stderr, "# %s\n", stats.summary().c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

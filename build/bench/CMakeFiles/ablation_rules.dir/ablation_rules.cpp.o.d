@@ -193,7 +193,14 @@ bench/CMakeFiles/ablation_rules.dir/ablation_rules.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/alo.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/alo.hpp \
  /root/repo/src/core/limiter.hpp /root/repo/src/routing/routing.hpp \
  /root/repo/src/topology/kary_ncube.hpp /usr/include/c++/12/array \
  /root/repo/src/util/small_vector.hpp /usr/include/c++/12/cassert \
@@ -207,10 +214,7 @@ bench/CMakeFiles/ablation_rules.dir/ablation_rules.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
@@ -219,13 +223,23 @@ bench/CMakeFiles/ablation_rules.dir/ablation_rules.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/deadlock/detection.hpp \
  /root/repo/src/deadlock/recovery.hpp \
  /root/repo/src/metrics/collector.hpp /root/repo/src/util/stats.hpp \
- /usr/include/c++/12/limits /root/repo/src/metrics/timeseries.hpp \
+ /root/repo/src/metrics/timeseries.hpp \
  /root/repo/src/routing/selection.hpp /usr/include/c++/12/optional \
  /root/repo/src/sim/message.hpp /root/repo/src/sim/types.hpp \
  /root/repo/src/sim/network.hpp /root/repo/src/sim/channel.hpp \
  /root/repo/src/traffic/workload.hpp \
  /root/repo/src/traffic/injection_process.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/traffic/patterns.hpp /root/repo/src/util/cli.hpp \
+ /root/repo/src/traffic/patterns.hpp \
+ /root/repo/src/metrics/sweep_stats.hpp /root/repo/src/util/cli.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/csv.hpp
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/csv.hpp \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread

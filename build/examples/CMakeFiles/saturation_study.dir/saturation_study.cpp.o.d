@@ -227,7 +227,8 @@ examples/CMakeFiles/saturation_study.dir/saturation_study.cpp.o: \
  /root/repo/src/sim/network.hpp /root/repo/src/sim/channel.hpp \
  /root/repo/src/traffic/workload.hpp \
  /root/repo/src/traffic/injection_process.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/traffic/patterns.hpp /root/repo/src/util/cli.hpp \
+ /root/repo/src/traffic/patterns.hpp \
+ /root/repo/src/metrics/sweep_stats.hpp /root/repo/src/util/cli.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/metrics/collector.cpp" "src/metrics/CMakeFiles/wormsim_metrics.dir/collector.cpp.o" "gcc" "src/metrics/CMakeFiles/wormsim_metrics.dir/collector.cpp.o.d"
+  "/root/repo/src/metrics/sweep_stats.cpp" "src/metrics/CMakeFiles/wormsim_metrics.dir/sweep_stats.cpp.o" "gcc" "src/metrics/CMakeFiles/wormsim_metrics.dir/sweep_stats.cpp.o.d"
   )
 
 # Targets to which this target links.

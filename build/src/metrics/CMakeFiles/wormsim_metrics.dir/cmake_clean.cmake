@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/wormsim_metrics.dir/collector.cpp.o"
   "CMakeFiles/wormsim_metrics.dir/collector.cpp.o.d"
+  "CMakeFiles/wormsim_metrics.dir/sweep_stats.cpp.o"
+  "CMakeFiles/wormsim_metrics.dir/sweep_stats.cpp.o.d"
   "libwormsim_metrics.a"
   "libwormsim_metrics.pdb"
 )

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/wormsim_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/wormsim_util.dir/csv.cpp.o.d"
   "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/wormsim_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/wormsim_util.dir/rng.cpp.o.d"
   "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/wormsim_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/wormsim_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/wormsim_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/wormsim_util.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/wormsim_util.dir/rng.cpp.o.d"
   "CMakeFiles/wormsim_util.dir/stats.cpp.o"
   "CMakeFiles/wormsim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/wormsim_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/wormsim_util.dir/thread_pool.cpp.o.d"
   "libwormsim_util.a"
   "libwormsim_util.pdb"
 )

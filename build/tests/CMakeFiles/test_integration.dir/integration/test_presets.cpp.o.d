@@ -311,4 +311,4 @@ tests/CMakeFiles/test_integration.dir/integration/test_presets.cpp.o: \
  /root/repo/src/sim/channel.hpp /root/repo/src/traffic/workload.hpp \
  /root/repo/src/traffic/injection_process.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/traffic/patterns.hpp /root/repo/src/harness/sweep.hpp \
- /root/repo/src/util/cli.hpp
+ /root/repo/src/metrics/sweep_stats.hpp /root/repo/src/util/cli.hpp

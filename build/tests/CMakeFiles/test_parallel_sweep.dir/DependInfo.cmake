@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_parallel_sweep.cpp" "tests/CMakeFiles/test_parallel_sweep.dir/integration/test_parallel_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_parallel_sweep.dir/integration/test_parallel_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/wormsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/wormsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wormsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wormsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/deadlock/CMakeFiles/wormsim_deadlock.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/wormsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/wormsim_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/wormsim_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/wormsim_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wormsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_sweep.dir/integration/test_parallel_sweep.cpp.o"
+  "CMakeFiles/test_parallel_sweep.dir/integration/test_parallel_sweep.cpp.o.d"
+  "test_parallel_sweep"
+  "test_parallel_sweep.pdb"
+  "test_parallel_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

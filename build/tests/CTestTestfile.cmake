@@ -5,11 +5,24 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_util_labels.cmake")
+include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_pool_labels.cmake")
 include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_topology_labels.cmake")
 include("/root/repo/build/tests/test_traffic[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic_labels.cmake")
 include("/root/repo/build/tests/test_deadlock[1]_include.cmake")
+include("/root/repo/build/tests/test_deadlock_labels.cmake")
 include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_routing_labels.cmake")
 include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_core_labels.cmake")
 include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics_labels.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_labels.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_labels.cmake")
+include("/root/repo/build/tests/test_parallel_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_sweep_labels.cmake")

@@ -1,0 +1,3 @@
+foreach(t IN LISTS test_integration_TESTS)
+  set_tests_properties("${t}" PROPERTIES LABELS "tier1")
+endforeach()

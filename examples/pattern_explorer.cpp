@@ -3,7 +3,7 @@
 // concentration — then simulate one load point per pattern and report
 // the sustained throughput with and without ALO.
 //
-//   ./pattern_explorer [--k 8 --n 3 --offered 0.8 --msg-len 16]
+//   ./pattern_explorer [--k 8 --n 3 --offered 0.8 --msg-len 16 --jobs 4]
 #include <cstdio>
 #include <exception>
 #include <vector>
@@ -12,6 +12,7 @@
 #include "harness/sweep.hpp"
 #include "traffic/patterns.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace wormsim;
 
@@ -79,24 +80,34 @@ int main(int argc, char** argv) {
     std::printf("%-16s %8s %10s %8s | %10s %10s %9s\n", "pattern", "active",
                 "mean_dist", "conc", "none_acc", "alo_acc", "alo_dl%");
 
-    for (const auto kind :
-         {traffic::PatternKind::Uniform, traffic::PatternKind::Butterfly,
-          traffic::PatternKind::Complement, traffic::PatternKind::BitReversal,
-          traffic::PatternKind::PerfectShuffle, traffic::PatternKind::Transpose,
-          traffic::PatternKind::Tornado}) {
+    const std::vector<traffic::PatternKind> kinds = {
+        traffic::PatternKind::Uniform, traffic::PatternKind::Butterfly,
+        traffic::PatternKind::Complement, traffic::PatternKind::BitReversal,
+        traffic::PatternKind::PerfectShuffle, traffic::PatternKind::Transpose,
+        traffic::PatternKind::Tornado};
+
+    // The two simulations per pattern are independent; run the whole
+    // pattern × {None, ALO} grid on the thread pool (seeds unchanged:
+    // both limiters see the identical workload at base.seed).
+    std::vector<metrics::SimResult> sims(kinds.size() * 2);
+    util::parallel_for(
+        sims.size(), harness::jobs_flag(args), [&](std::size_t i) {
+          config::SimConfig cfg = base;
+          cfg.workload.pattern = kinds[i / 2];
+          cfg.workload.offered_flits_per_node_cycle = offered;
+          cfg.sim.limiter.kind =
+              (i % 2) ? core::LimiterKind::ALO : core::LimiterKind::None;
+          sims[i] = config::run_experiment(cfg);
+        });
+
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      const auto kind = kinds[i];
       auto pattern = traffic::make_pattern(kind, topo);
       const double active = traffic::active_node_fraction(*pattern, topo, rng);
       const double dist = mean_flow_distance(*pattern, topo, rng);
       const double conc = channel_concentration(*pattern, topo, rng);
-
-      config::SimConfig cfg = base;
-      cfg.workload.pattern = kind;
-      cfg.workload.offered_flits_per_node_cycle = offered;
-      cfg.sim.limiter.kind = core::LimiterKind::None;
-      const auto none = config::run_experiment(cfg);
-      cfg.sim.limiter.kind = core::LimiterKind::ALO;
-      const auto alo = config::run_experiment(cfg);
-
+      const auto& none = sims[i * 2];
+      const auto& alo = sims[i * 2 + 1];
       std::printf("%-16s %7.0f%% %10.2f %8.2f | %10.3f %10.3f %8.2f%%\n",
                   std::string(traffic::pattern_name(kind)).c_str(),
                   active * 100.0, dist, conc,

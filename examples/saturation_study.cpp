@@ -4,10 +4,11 @@
 // Figures 5..10 in one command.
 //
 //   ./saturation_study --pattern complement --msg-len 16
-//       --loads 8 --max-load 1.2 [--k 8 --n 3 ...]
+//       --loads 8 --max-load 1.2 [--k 8 --n 3 --jobs 4 ...]
 //
 // Defaults use the 64-node reduced preset; pass --paper for the full
-// 8-ary 3-cube of the paper (slower).
+// 8-ary 3-cube of the paper (slower). Points run in parallel (--jobs,
+// or the WORMSIM_JOBS env; output is identical for any job count).
 #include <cstdio>
 #include <exception>
 #include <iostream>
@@ -33,6 +34,9 @@ int main(int argc, char** argv) {
     spec.limiters = {core::LimiterKind::None, core::LimiterKind::ALO,
                      core::LimiterKind::LF, core::LimiterKind::DRIL};
     spec.offered_loads = harness::load_range(min_load, max_load, points);
+    spec.jobs = harness::jobs_flag(args);
+    metrics::SweepStats stats;
+    spec.stats = &stats;
     spec.on_point = [](const harness::SweepPoint& p) {
       std::fprintf(stderr, "  [%s @ %.3f] accepted=%.3f latency=%.1f%s\n",
                    std::string(core::limiter_name(p.limiter)).c_str(),
@@ -44,6 +48,7 @@ int main(int argc, char** argv) {
     std::cout << harness::describe(base) << "\n";
     const auto results = harness::run_sweep(spec);
     harness::write_sweep_csv(std::cout, results);
+    std::fprintf(stderr, "# %s\n", stats.summary().c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

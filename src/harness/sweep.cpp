@@ -1,31 +1,93 @@
 #include "harness/sweep.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 
 #include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wormsim::harness {
 
-std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
-  std::vector<SweepPoint> points;
-  points.reserve(spec.limiters.size() * spec.offered_loads.size());
-  unsigned index = 0;
+namespace {
+
+/// The flattened (limiter, load) grid in sweep order. The position in
+/// this vector is both the output slot and the RNG stream index, which
+/// is what makes the parallel engine's results independent of thread
+/// count and completion order.
+struct GridPoint {
+  core::LimiterKind limiter;
+  double offered;
+};
+
+std::vector<GridPoint> flatten_grid(const SweepSpec& spec) {
+  std::vector<GridPoint> grid;
+  grid.reserve(spec.limiters.size() * spec.offered_loads.size());
   for (const auto limiter : spec.limiters) {
     for (const double offered : spec.offered_loads) {
-      config::SimConfig cfg = spec.base;
-      cfg.sim.limiter.kind = limiter;
-      cfg.workload.offered_flits_per_node_cycle = offered;
-      // Decorrelate points while keeping the sweep reproducible.
-      cfg.seed = spec.base.seed + 0x9e3779b9ULL * ++index;
-      SweepPoint point{limiter, offered, config::run_experiment(cfg)};
-      if (spec.on_point) spec.on_point(point);
-      points.push_back(std::move(point));
+      grid.push_back({limiter, offered});
     }
   }
+  return grid;
+}
+
+config::SimConfig point_config(const SweepSpec& spec, const GridPoint& p,
+                               std::uint64_t stream) {
+  config::SimConfig cfg = spec.base;
+  cfg.sim.limiter.kind = p.limiter;
+  cfg.workload.offered_flits_per_node_cycle = p.offered;
+  // Decorrelated, order-independent per-simulation stream.
+  cfg.seed = util::derive_stream_seed(spec.base.seed, stream);
+  return cfg;
+}
+
+class SweepTimer {
+ public:
+  SweepTimer(metrics::SweepStats* stats, unsigned jobs,
+             std::uint64_t points, std::uint64_t simulations)
+      : stats_(stats), start_(std::chrono::steady_clock::now()) {
+    if (!stats_) return;
+    stats_->jobs = jobs;
+    stats_->points = points;
+    stats_->simulations = simulations;
+  }
+  ~SweepTimer() {
+    if (!stats_) return;
+    stats_->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+  }
+
+ private:
+  metrics::SweepStats* stats_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
+  const std::vector<GridPoint> grid = flatten_grid(spec);
+  const unsigned jobs = util::ThreadPool::resolve_jobs(spec.jobs);
+  const SweepTimer timer(spec.stats, jobs, grid.size(), grid.size());
+
+  std::vector<SweepPoint> points(grid.size());
+  std::mutex progress_mu;
+  util::parallel_for(grid.size(), jobs, [&](std::size_t i) {
+    const config::SimConfig cfg = point_config(spec, grid[i], i);
+    SweepPoint point{grid[i].limiter, grid[i].offered,
+                     config::run_experiment(cfg)};
+    if (spec.on_point) {
+      const std::lock_guard<std::mutex> lock(progress_mu);
+      spec.on_point(point);
+    }
+    points[i] = std::move(point);
+  });
   return points;
 }
 
@@ -49,27 +111,42 @@ std::vector<ReplicatedPoint> run_replicated_sweep(const SweepSpec& spec,
                                                   unsigned replications) {
   std::vector<ReplicatedPoint> points;
   if (replications == 0) return points;
-  points.reserve(spec.limiters.size() * spec.offered_loads.size());
-  unsigned index = 0;
-  for (const auto limiter : spec.limiters) {
-    for (const double offered : spec.offered_loads) {
-      ReplicatedPoint agg;
-      agg.limiter = limiter;
-      agg.offered = offered;
-      agg.replications = replications;
-      for (unsigned rep = 0; rep < replications; ++rep) {
-        config::SimConfig cfg = spec.base;
-        cfg.sim.limiter.kind = limiter;
-        cfg.workload.offered_flits_per_node_cycle = offered;
-        cfg.seed = spec.base.seed + 0x9e3779b9ULL * ++index;
-        const metrics::SimResult r = config::run_experiment(cfg);
-        agg.latency.add(r.latency_mean);
-        agg.accepted.add(r.accepted_flits_per_node_cycle);
-        agg.deadlock_pct.add(r.deadlock_pct);
-        if (spec.on_point) spec.on_point(SweepPoint{limiter, offered, r});
-      }
-      points.push_back(std::move(agg));
+  const std::vector<GridPoint> grid = flatten_grid(spec);
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(grid.size()) * replications;
+  const unsigned jobs = util::ThreadPool::resolve_jobs(spec.jobs);
+  const SweepTimer timer(spec.stats, jobs, grid.size(), total);
+
+  // Every (point, replication) simulation is one task. Results land in
+  // slots first; folding into the RunningStats happens afterwards in
+  // replication-index order, because Welford accumulation is
+  // order-sensitive in the last bits — folding in completion order
+  // would make the reported mean/sd depend on thread scheduling.
+  std::vector<metrics::SimResult> runs(total);
+  std::mutex progress_mu;
+  util::parallel_for(total, jobs, [&](std::size_t task) {
+    const GridPoint& p = grid[task / replications];
+    const config::SimConfig cfg = point_config(spec, p, task);
+    runs[task] = config::run_experiment(cfg);
+    if (spec.on_point) {
+      const std::lock_guard<std::mutex> lock(progress_mu);
+      spec.on_point(SweepPoint{p.limiter, p.offered, runs[task]});
     }
+  });
+
+  points.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ReplicatedPoint agg;
+    agg.limiter = grid[i].limiter;
+    agg.offered = grid[i].offered;
+    agg.replications = replications;
+    for (unsigned rep = 0; rep < replications; ++rep) {
+      const metrics::SimResult& r = runs[i * replications + rep];
+      agg.latency.add(r.latency_mean);
+      agg.accepted.add(r.accepted_flits_per_node_cycle);
+      agg.deadlock_pct.add(r.deadlock_pct);
+    }
+    points.push_back(std::move(agg));
   }
   return points;
 }
@@ -128,6 +205,10 @@ void apply_common_flags(config::SimConfig& cfg, const util::ArgParser& args) {
   cfg.protocol.measure = args.get_uint("measure", cfg.protocol.measure);
   cfg.protocol.drain_max = args.get_uint("drain", cfg.protocol.drain_max);
   cfg.seed = args.get_uint("seed", cfg.seed);
+}
+
+unsigned jobs_flag(const util::ArgParser& args) {
+  return static_cast<unsigned>(args.get_uint("jobs", 0));
 }
 
 void apply_scale_env(config::SimConfig& cfg) {

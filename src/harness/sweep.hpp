@@ -4,6 +4,14 @@
 // prints CSV rows compatible with the paper's figures: latency and
 // accepted traffic versus offered traffic, per mechanism.
 //
+// Parallel execution: points are fully independent, so the engine
+// submits each one to a work-stealing thread pool (`jobs` workers;
+// 0 = WORMSIM_JOBS env or hardware concurrency, 1 = the serial code
+// path with no pool). Every point derives its own RNG stream from the
+// base seed by index (util::derive_stream_seed), and results land in
+// pre-sized slots indexed by point, so CSV output is bit-identical
+// regardless of thread count or scheduling order.
+//
 // Scale control: `apply_scale_env` honours WORMSIM_FAST=1 (shrink to the
 // 64-node small preset and shorten the windows) so the full bench suite
 // stays runnable on modest machines; the committed outputs record which
@@ -17,6 +25,7 @@
 
 #include "config/presets.hpp"
 #include "metrics/collector.hpp"
+#include "metrics/sweep_stats.hpp"
 #include "util/stats.hpp"
 #include "util/cli.hpp"
 
@@ -32,12 +41,21 @@ struct SweepSpec {
   config::SimConfig base;
   std::vector<core::LimiterKind> limiters;
   std::vector<double> offered_loads;
-  /// Called after each point (progress reporting); may be empty.
+  /// Called after each point finishes (progress reporting); may be
+  /// empty. Invocations are serialized behind a mutex, so the callback
+  /// needs no locking of its own — but under `jobs > 1` points complete
+  /// in an arbitrary order, so it must not assume sweep order.
   std::function<void(const SweepPoint&)> on_point;
+  /// Worker threads: 0 = WORMSIM_JOBS env override or hardware
+  /// concurrency; 1 = serial fallback path (no thread pool at all).
+  unsigned jobs = 0;
+  /// Optional out-param: wall-clock/throughput counters for this sweep.
+  metrics::SweepStats* stats = nullptr;
 };
 
 /// Run every (limiter, load) combination; each point uses a fresh
-/// simulator seeded deterministically from the base seed.
+/// simulator seeded deterministically from the base seed (stream split
+/// by point index — thread-count independent).
 std::vector<SweepPoint> run_sweep(const SweepSpec& spec);
 
 /// Emit the standard figure CSV:
@@ -57,7 +75,11 @@ struct ReplicatedPoint {
 };
 
 /// Like run_sweep but each point is run `replications` times with
-/// decorrelated seeds.
+/// decorrelated seeds (one derived stream per simulation). Replications
+/// execute in parallel under `spec.jobs`, but per-run results are
+/// accumulated into slots first and folded into the RunningStats in
+/// replication-index order, so the reported mean/sd are identical no
+/// matter which replication finishes first.
 std::vector<ReplicatedPoint> run_replicated_sweep(const SweepSpec& spec,
                                                   unsigned replications);
 
@@ -74,6 +96,11 @@ std::vector<double> load_range(double lo, double hi, unsigned points);
 /// flags.
 void apply_common_flags(config::SimConfig& cfg, const util::ArgParser& args);
 void apply_scale_env(config::SimConfig& cfg);
+
+/// Read the `--jobs N` flag for SweepSpec::jobs (0 = auto: WORMSIM_JOBS
+/// env override or hardware concurrency). Shared by every bench/example
+/// so the knob is spelled the same everywhere.
+unsigned jobs_flag(const util::ArgParser& args);
 
 /// Human banner describing a config (topology, router, workload).
 std::string describe(const config::SimConfig& cfg);

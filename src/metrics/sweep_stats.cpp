@@ -1,0 +1,28 @@
+#include "metrics/sweep_stats.hpp"
+
+#include <cstdio>
+
+namespace wormsim::metrics {
+
+double SweepStats::points_per_second() const noexcept {
+  return wall_seconds > 0.0 ? static_cast<double>(points) / wall_seconds
+                            : 0.0;
+}
+
+double SweepStats::simulations_per_second() const noexcept {
+  return wall_seconds > 0.0
+             ? static_cast<double>(simulations) / wall_seconds
+             : 0.0;
+}
+
+std::string SweepStats::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%llu points (%llu sims) in %.2f s — %.2f points/s, jobs=%u",
+                static_cast<unsigned long long>(points),
+                static_cast<unsigned long long>(simulations), wall_seconds,
+                points_per_second(), jobs);
+  return buf;
+}
+
+}  // namespace wormsim::metrics

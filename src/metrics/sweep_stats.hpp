@@ -1,0 +1,28 @@
+// Wall-clock accounting for one harness sweep.
+//
+// A sweep point is one CSV row; a simulation is one run_experiment call
+// (points × replications for replicated sweeps). The harness fills one
+// of these per sweep so benches can print the engine's throughput and
+// the speedup from `--jobs` is visible next to the figures it produces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wormsim::metrics {
+
+struct SweepStats {
+  unsigned jobs = 0;              // worker count the engine actually used
+  std::uint64_t points = 0;       // CSV rows produced
+  std::uint64_t simulations = 0;  // run_experiment calls (>= points)
+  double wall_seconds = 0.0;
+
+  double points_per_second() const noexcept;
+  double simulations_per_second() const noexcept;
+
+  /// One human line for bench stderr, e.g.
+  /// "28 points (28 sims) in 12.41 s — 2.3 points/s, jobs=4".
+  std::string summary() const;
+};
+
+}  // namespace wormsim::metrics

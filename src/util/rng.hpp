@@ -30,6 +30,21 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// SplitMix-style stream split: the seed of independent substream
+/// `stream` of `base` — exactly the (stream+1)-th output of
+/// SplitMix64(base), but computed by random access so it does not
+/// depend on the order streams are requested in. The parallel sweep
+/// harness derives one stream per simulation point from this, which is
+/// what makes results bit-identical regardless of thread count or
+/// scheduling order.
+constexpr std::uint64_t derive_stream_seed(std::uint64_t base,
+                                           std::uint64_t stream) noexcept {
+  std::uint64_t z = base + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// xoshiro256**: fast, high-quality 64-bit generator (Blackman/Vigna).
 /// Satisfies UniformRandomBitGenerator.
 class Xoshiro256 {
