@@ -8,6 +8,8 @@
 //   --loads N             number of offered-load points (default 7)
 //   --min-load/--max-load sweep range in flits/node/cycle
 //   --warmup/--measure/--drain, --k/--n/--vcs/--msg-len/--pattern/--seed
+//   --core dense|active   cycle-loop implementation (default: active;
+//                         results are bit-identical, only speed differs)
 //
 // Output: a banner line, the expectation note from the paper, then CSV
 // on stdout; per-point progress and the sweep's wall-clock/points-per-

@@ -3,7 +3,7 @@
 // headline metrics.
 //
 //   ./quickstart [--k 8 --n 3 --offered 0.4 --pattern uniform
-//                 --msg-len 16 --limiter alo ...]
+//                 --msg-len 16 --limiter alo --core dense|active ...]
 //
 // With no arguments it runs a small 64-node network so it finishes in a
 // few seconds.

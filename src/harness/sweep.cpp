@@ -88,6 +88,9 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
     }
     points[i] = std::move(point);
   });
+  if (spec.stats) {
+    for (const auto& p : points) spec.stats->sim_cycles += p.result.total_cycles;
+  }
   return points;
 }
 
@@ -133,6 +136,9 @@ std::vector<ReplicatedPoint> run_replicated_sweep(const SweepSpec& spec,
       spec.on_point(SweepPoint{p.limiter, p.offered, runs[task]});
     }
   });
+  if (spec.stats) {
+    for (const auto& r : runs) spec.stats->sim_cycles += r.total_cycles;
+  }
 
   points.reserve(grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i) {
@@ -199,6 +205,9 @@ void apply_common_flags(config::SimConfig& cfg, const util::ArgParser& args) {
   if (auto s = args.get("selection")) {
     cfg.sim.selection = routing::parse_selection(*s);
   }
+  if (auto c = args.get("core")) {
+    cfg.sim.core = sim::parse_sim_core(*c);
+  }
   cfg.sim.detection.threshold = static_cast<std::uint32_t>(
       args.get_uint("deadlock-threshold", cfg.sim.detection.threshold));
   cfg.protocol.warmup = args.get_uint("warmup", cfg.protocol.warmup);
@@ -234,6 +243,7 @@ std::string describe(const config::SimConfig& cfg) {
      << ", pattern=" << traffic::pattern_name(cfg.workload.pattern)
      << ", msg=" << cfg.workload.length.fixed << " flits"
      << ", detect=" << cfg.sim.detection.threshold << " cycles"
+     << ", core=" << sim::sim_core_name(cfg.sim.core)
      << ", warmup=" << cfg.protocol.warmup
      << ", measure=" << cfg.protocol.measure << ", seed=" << cfg.seed;
   return os.str();

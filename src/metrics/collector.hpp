@@ -83,6 +83,14 @@ struct SimResult {
   bool fully_drained = false;  // every measured message was delivered
   bool saturated = false;      // source queues grew without bound
   double wall_seconds = 0.0;
+
+  // Simulation-core diagnostics (excluded from sweep CSVs so result
+  // files stay byte-identical across cores; see write_sweep_csv).
+  std::string core;               // "dense" | "active"
+  double cycles_per_second = 0.0; // simulated cycles per wall second
+  double scan_skip_ratio = 0.0;   // fraction of dense scan slots skipped
+  double avg_active_links = 0.0;  // mean occupied network links / cycle
+  double avg_active_nodes = 0.0;  // mean active-set nodes / cycle (active core)
 };
 
 /// Streaming collector the simulator feeds; produces a SimResult.

@@ -15,13 +15,19 @@ struct SweepStats {
   unsigned jobs = 0;              // worker count the engine actually used
   std::uint64_t points = 0;       // CSV rows produced
   std::uint64_t simulations = 0;  // run_experiment calls (>= points)
+  std::uint64_t sim_cycles = 0;   // simulated cycles, summed over runs
   double wall_seconds = 0.0;
 
   double points_per_second() const noexcept;
   double simulations_per_second() const noexcept;
+  /// Aggregate simulated cycles per wall second across all workers —
+  /// the sweep engine's core-speed figure of merit (scales with both
+  /// `jobs` and the per-simulator cycle rate).
+  double cycles_per_second() const noexcept;
 
   /// One human line for bench stderr, e.g.
-  /// "28 points (28 sims) in 12.41 s — 2.3 points/s, jobs=4".
+  /// "28 points (28 sims, 1.2M cycles) in 12.41 s — 2.3 points/s,
+  ///  96.7k cycles/s, jobs=4".
   std::string summary() const;
 };
 

@@ -28,6 +28,8 @@ Network::Network(const topo::KAryNCube& topo, const NetworkParams& params)
   links_.resize(num_net_links_ + num_inj_links_);
   vcs_.resize(net_vc_count_ + num_inj_links_);
   eject_.resize(static_cast<std::size_t>(nodes) * params.eje_channels);
+  tenant_links_.reset(num_net_links_);
+  arrival_links_.reset(num_net_links_);
 
   for (NodeId node = 0; node < nodes; ++node) {
     for (unsigned c = 0; c < topo.num_channels(); ++c) {
@@ -91,6 +93,13 @@ void Network::set_active(VcRef ref, bool active) noexcept {
   } else {
     l.active_vc_mask &= static_cast<std::uint8_t>(~(1u << ref.vc));
   }
+  if (ref.link < num_net_links_) {
+    if (l.active_vc_mask != 0) {
+      tenant_links_.insert(ref.link);
+    } else {
+      tenant_links_.erase(ref.link);
+    }
+  }
 }
 
 void Network::allocate_out_vc(VcRef from, VcRef out, MsgId msg,
@@ -127,6 +136,7 @@ bool Network::transmit_flit(VcRef from, std::uint32_t msg_length,
 
   Link& out_link = links_[u.out.link];
   out_link.in_flight.push(now + params_.link_delay, u.out.vc, u.msg);
+  arrival_links_.insert(u.out.link);
   ++out_link.flits_carried;
   ++d.occupancy;
   ++u.out_count;
@@ -142,6 +152,15 @@ bool Network::transmit_flit(VcRef from, std::uint32_t msg_length,
     return true;
   }
   return false;
+}
+
+unsigned Network::absorb_drop(LinkId link, MsgId msg) noexcept {
+  Link& l = links_[link];
+  const unsigned dropped = l.in_flight.drop_message(msg);
+  if (l.in_flight.empty() && link < num_net_links_) {
+    arrival_links_.erase(link);
+  }
+  return dropped;
 }
 
 void Network::force_free(VcRef ref) noexcept {

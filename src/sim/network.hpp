@@ -11,6 +11,7 @@
 #include "sim/channel.hpp"
 #include "sim/types.hpp"
 #include "topology/kary_ncube.hpp"
+#include "util/active_set.hpp"
 
 namespace wormsim::sim {
 
@@ -108,12 +109,34 @@ class Network final : public core::ChannelStatus {
       v.last_activity = now;
       l.in_flight.pop();
     }
+    if (l.in_flight.empty() && link_id < num_net_links_) {
+      arrival_links_.erase(link_id);
+    }
   }
   /// Free one VC unconditionally (deadlock absorption).
   void force_free(VcRef ref) noexcept;
 
+  /// Drop every in-flight flit of `msg` on `link` (deadlock absorption),
+  /// keeping the pending-arrival set coherent. Returns flits removed.
+  unsigned absorb_drop(LinkId link, MsgId msg) noexcept;
+
   /// Mark/unmark tenancy in the link's active mask.
   void set_active(VcRef ref, bool active) noexcept;
+
+  // --- Active sets ------------------------------------------------------
+  // Maintained unconditionally (transitions are O(1)); the active-set
+  // core iterates them, the dense core ignores them, and the coherence
+  // checks compare them against a full rescan in either mode.
+
+  /// Network links with at least one allocated (tenant) VC — exactly the
+  /// links whose active_vc_mask is non-zero.
+  const util::ActiveSet& tenant_links() const noexcept {
+    return tenant_links_;
+  }
+  /// Network links with at least one flit in their in-flight pipeline.
+  const util::ActiveSet& arrival_links() const noexcept {
+    return arrival_links_;
+  }
 
  private:
   std::size_t vc_index(VcRef ref) const noexcept {
@@ -132,6 +155,9 @@ class Network final : public core::ChannelStatus {
   std::vector<Link> links_;
   std::vector<VcState> vcs_;
   std::vector<EjectPort> eject_;
+
+  util::ActiveSet tenant_links_;   // net links with active_vc_mask != 0
+  util::ActiveSet arrival_links_;  // net links with non-empty in_flight
 };
 
 /// Adapter giving the routing Selector a per-node view of free output

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <chrono>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "core/alo.hpp"
 
@@ -13,6 +15,21 @@ namespace {
 constexpr Cycle kForever = std::numeric_limits<Cycle>::max();
 constexpr Cycle kQueueSamplePeriod = 64;
 }  // namespace
+
+SimCore parse_sim_core(std::string_view name) {
+  if (name == "dense") return SimCore::Dense;
+  if (name == "active") return SimCore::Active;
+  throw std::invalid_argument("unknown sim core (dense|active): " +
+                              std::string(name));
+}
+
+std::string_view sim_core_name(SimCore core) noexcept {
+  switch (core) {
+    case SimCore::Dense: return "dense";
+    case SimCore::Active: return "active";
+  }
+  return "unknown";
+}
 
 Simulator::Simulator(const topo::KAryNCube& topo, const SimulatorConfig& cfg,
                      std::unique_ptr<traffic::Workload> workload)
@@ -27,64 +44,139 @@ Simulator::Simulator(const topo::KAryNCube& topo, const SimulatorConfig& cfg,
       collector_(topo_.num_nodes(), 0, kForever),
       queues_(topo_.num_nodes()),
       head_since_(topo_.num_nodes(), 0),
-      alloc_rr_(topo_.num_nodes(), 0) {
+      alloc_rr_(topo_.num_nodes(), 0),
+      eject_nodes_(topo_.num_nodes()),
+      inject_nodes_(topo_.num_nodes()),
+      gen_dense_(topo_.num_nodes()),
+      gen_where_(topo_.num_nodes(), GenSub::None) {
   if (cfg.routing_delay < 1 || cfg.routing_delay > 8) {
     throw std::invalid_argument("routing_delay must be in [1, 8]");
   }
 }
 
-std::size_t Simulator::source_queue_total() const noexcept {
-  std::size_t total = 0;
-  for (const auto& q : queues_) total += q.size();
-  return total;
+void Simulator::enqueue_source(NodeId node, NodeId dst, std::uint32_t length,
+                               Cycle t) {
+  queues_[node].push_back({dst, length, t, collector_.in_window(t)});
+  if (queues_[node].size() == 1) head_since_[node] = t;
+  ++queue_total_;
+  ++generated_total_;
+  inject_nodes_.insert(node);
+  collector_.on_generated(t);
 }
 
 bool Simulator::push_message(NodeId src, NodeId dst, std::uint32_t length) {
   if (src == dst || length == 0) return false;
-  queues_[src].push_back(
-      {dst, length, cycle_, collector_.in_window(cycle_)});
-  if (queues_[src].size() == 1) head_since_[src] = cycle_;
-  collector_.on_generated(cycle_);
+  enqueue_source(src, dst, length, cycle_);
   return true;
 }
 
 void Simulator::step() {
   const Cycle t = cycle_;
+  scan_.cycles += 1;
+  scan_.scan_total +=
+      2 * static_cast<std::uint64_t>(net_.num_net_links()) +
+      3 * static_cast<std::uint64_t>(topo_.num_nodes());
   phase_generate(t);
   phase_arrivals(t);
   phase_eject(t);
   phase_route(t);
   phase_transmit(t);
   phase_inject(t);
+  scan_.active_links_sum += net_.tenant_links().size();
+  scan_.active_nodes_sum +=
+      cfg_.core == SimCore::Active ? inject_nodes_.size() : 0;
   if (t % kQueueSamplePeriod == 0) {
-    const std::size_t total = source_queue_total();
+    const std::size_t total = queue_total_;
     collector_.on_queue_sample(total);
     if (timeseries_) timeseries_->on_queue_sample(t, total);
+#ifndef NDEBUG
+    std::string why;
+    assert(check_active_sets(&why) && why.c_str());
+    assert(check_conservation(&why) && why.c_str());
+#endif
   }
   ++cycle_;
+}
+
+// --- Generation -------------------------------------------------------
+
+void Simulator::poll_node(NodeId node, Cycle t) {
+  gen_buf_.clear();
+  workload_->poll(node, t, gen_buf_);
+  for (const auto& g : gen_buf_) {
+    enqueue_source(node, g.dst, g.length_flits, t);
+  }
+}
+
+void Simulator::poll_and_reschedule(NodeId node, Cycle t) {
+  scan_.scan_visited += 1;
+  poll_node(node, t);
+  const std::uint64_t hint = workload_->next_poll(node, t);
+  if (hint == traffic::kNeverPoll) {
+    gen_dense_.erase(node);
+    gen_where_[node] = GenSub::None;
+  } else if (hint <= t + 1) {
+    gen_dense_.insert(node);
+    gen_where_[node] = GenSub::EveryCycle;
+  } else {
+    gen_dense_.erase(node);
+    gen_heap_.push({hint, node});
+    gen_where_[node] = GenSub::Timed;
+  }
 }
 
 void Simulator::phase_generate(Cycle t) {
   if (!workload_) return;
   const NodeId nodes = topo_.num_nodes();
-  for (NodeId node = 0; node < nodes; ++node) {
-    gen_buf_.clear();
-    workload_->poll(node, t, gen_buf_);
-    for (const auto& g : gen_buf_) {
-      queues_[node].push_back({g.dst, g.length_flits, t,
-                               collector_.in_window(t)});
-      if (queues_[node].size() == 1) head_since_[node] = t;
-      collector_.on_generated(t);
+  if (cfg_.core == SimCore::Dense) {
+    scan_.scan_visited += nodes;
+    for (NodeId node = 0; node < nodes; ++node) poll_node(node, t);
+    return;
+  }
+  // A workload mutation (set_offered_load) invalidates every
+  // outstanding hint: drop the timed subscriptions and re-poll every
+  // node from the next cycle on, exactly as the dense core would.
+  if (workload_->mutation_epoch() != gen_epoch_) {
+    gen_epoch_ = workload_->mutation_epoch();
+    gen_heap_ = {};
+    for (NodeId node = 0; node < nodes; ++node) {
+      gen_dense_.insert(node);
+      gen_where_[node] = GenSub::EveryCycle;
     }
+  }
+  // Every-cycle processes first, then due timed ones. Order matters for
+  // subscription exclusivity, not results: a heap pop may re-subscribe
+  // its node into gen_dense_, which must not be re-visited this cycle —
+  // per-node generator state is independent, so cross-node poll order
+  // itself is free.
+  gen_dense_.for_each(
+      [&](std::size_t node) { poll_and_reschedule(static_cast<NodeId>(node), t); });
+  while (!gen_heap_.empty() && gen_heap_.top().first <= t) {
+    const NodeId node = gen_heap_.top().second;
+    gen_heap_.pop();
+    assert(gen_where_[node] == GenSub::Timed);
+    poll_and_reschedule(node, t);
   }
 }
 
+// --- Arrivals ---------------------------------------------------------
+
 void Simulator::phase_arrivals(Cycle t) {
-  const LinkId n = net_.num_net_links();
-  for (LinkId l = 0; l < n; ++l) {
-    if (net_.link(l).in_flight.empty()) continue;
-    net_.process_arrivals(l, t, [this](VcRef ref) { enroll_for_routing(ref); });
+  if (cfg_.core == SimCore::Dense) {
+    const LinkId n = net_.num_net_links();
+    scan_.scan_visited += n;
+    for (LinkId l = 0; l < n; ++l) {
+      if (net_.link(l).in_flight.empty()) continue;
+      net_.process_arrivals(l, t,
+                            [this](VcRef ref) { enroll_for_routing(ref); });
+    }
+    return;
   }
+  scan_.scan_visited += net_.arrival_links().size();
+  net_.arrival_links().for_each([&](std::size_t l) {
+    net_.process_arrivals(static_cast<LinkId>(l), t,
+                          [this](VcRef ref) { enroll_for_routing(ref); });
+  });
 }
 
 void Simulator::enroll_for_routing(VcRef ref) {
@@ -95,33 +187,53 @@ void Simulator::enroll_for_routing(VcRef ref) {
   }
 }
 
-void Simulator::phase_eject(Cycle t) {
-  const NodeId nodes = topo_.num_nodes();
+// --- Ejection ---------------------------------------------------------
+
+void Simulator::eject_node(NodeId node, Cycle t) {
   const unsigned ports = net_.params().eje_channels;
-  for (NodeId node = 0; node < nodes; ++node) {
-    for (unsigned p = 0; p < ports; ++p) {
-      EjectPort& port = net_.eject_port(node, p);
-      if (!port.busy()) continue;
-      VcState& u = net_.vc(port.src);
-      if (u.buffered() == 0) continue;
-      Message& m = pool_[port.msg];
-      ++u.out_count;
-      --u.occupancy;
-      u.last_activity = t;
-      m.last_progress = t;
-      collector_.on_flits_ejected(t, 1);
-      if (timeseries_) timeseries_->on_flits_ejected(t, 1);
-      if (u.out_count == m.length) {
-        net_.set_active(port.src, false);
-        u.clear();
-        const MsgId id = port.msg;
-        port.msg = kNoMsg;
-        port.src = VcRef{};
-        deliver(id, t);
-      }
+  for (unsigned p = 0; p < ports; ++p) {
+    EjectPort& port = net_.eject_port(node, p);
+    if (!port.busy()) continue;
+    VcState& u = net_.vc(port.src);
+    if (u.buffered() == 0) continue;
+    Message& m = pool_[port.msg];
+    ++u.out_count;
+    --u.occupancy;
+    u.last_activity = t;
+    m.last_progress = t;
+    collector_.on_flits_ejected(t, 1);
+    if (timeseries_) timeseries_->on_flits_ejected(t, 1);
+    if (u.out_count == m.length) {
+      net_.set_active(port.src, false);
+      u.clear();
+      const MsgId id = port.msg;
+      port.msg = kNoMsg;
+      port.src = VcRef{};
+      deliver(id, t);
     }
   }
 }
+
+void Simulator::phase_eject(Cycle t) {
+  if (cfg_.core == SimCore::Dense) {
+    const NodeId nodes = topo_.num_nodes();
+    scan_.scan_visited += nodes;
+    for (NodeId node = 0; node < nodes; ++node) eject_node(node, t);
+    return;
+  }
+  const unsigned ports = net_.params().eje_channels;
+  scan_.scan_visited += eject_nodes_.size();
+  eject_nodes_.for_each([&](std::size_t node) {
+    eject_node(static_cast<NodeId>(node), t);
+    bool any_busy = false;
+    for (unsigned p = 0; p < ports; ++p) {
+      any_busy |= net_.eject_port(static_cast<NodeId>(node), p).busy();
+    }
+    if (!any_busy) eject_nodes_.erase(node);
+  });
+}
+
+// --- Routing ----------------------------------------------------------
 
 void Simulator::phase_route(Cycle t) {
   for (std::size_t i = 0; i < pending_route_.size();) {
@@ -148,6 +260,7 @@ void Simulator::phase_route(Cycle t) {
         continue;  // wait for an ejection channel
       }
       net_.bind_eject(ref, node, static_cast<unsigned>(port), v.msg);
+      eject_nodes_.insert(node);
       m.last_progress = t;
       v.pending_route = false;
       pending_route_[i] = pending_route_.back();
@@ -196,34 +309,47 @@ void Simulator::phase_route(Cycle t) {
   }
 }
 
-void Simulator::phase_transmit(Cycle t) {
-  const LinkId n = net_.num_net_links();
+// --- Transmission -----------------------------------------------------
+
+void Simulator::transmit_link(LinkId l, Cycle t) {
   const unsigned vcs = net_.params().num_vcs;
   const unsigned cap = net_.params().buf_flits;
-  for (LinkId l = 0; l < n; ++l) {
-    Link& link = net_.link(l);
-    if (link.active_vc_mask == 0) continue;
-    // Round-robin across this physical channel's allocated VCs: pick the
-    // first whose upstream buffer has a flit and whose own buffer has
-    // room.
-    for (unsigned j = 0; j < vcs; ++j) {
-      const auto vcn = static_cast<std::uint8_t>((link.rr_next + j) % vcs);
-      if (!(link.active_vc_mask & (1u << vcn))) continue;
-      const VcRef ref{l, vcn};
-      VcState& w = net_.vc(ref);
-      if (w.occupancy >= cap) continue;
-      if (!w.upstream.valid()) continue;
-      VcState& u = net_.vc(w.upstream);
-      if (u.buffered() == 0) continue;
-      assert(u.out_kind == VcState::OutKind::Vc && u.out == ref);
-      Message& m = pool_[w.msg];
-      net_.transmit_flit(w.upstream, m.length, t);
-      m.last_progress = t;
-      link.rr_next = static_cast<std::uint8_t>((vcn + 1) % vcs);
-      break;  // one flit per physical link per cycle
-    }
+  Link& link = net_.link(l);
+  if (link.active_vc_mask == 0) return;
+  // Round-robin across this physical channel's allocated VCs: pick the
+  // first whose upstream buffer has a flit and whose own buffer has
+  // room.
+  for (unsigned j = 0; j < vcs; ++j) {
+    const auto vcn = static_cast<std::uint8_t>((link.rr_next + j) % vcs);
+    if (!(link.active_vc_mask & (1u << vcn))) continue;
+    const VcRef ref{l, vcn};
+    VcState& w = net_.vc(ref);
+    if (w.occupancy >= cap) continue;
+    if (!w.upstream.valid()) continue;
+    VcState& u = net_.vc(w.upstream);
+    if (u.buffered() == 0) continue;
+    assert(u.out_kind == VcState::OutKind::Vc && u.out == ref);
+    Message& m = pool_[w.msg];
+    net_.transmit_flit(w.upstream, m.length, t);
+    m.last_progress = t;
+    link.rr_next = static_cast<std::uint8_t>((vcn + 1) % vcs);
+    break;  // one flit per physical link per cycle
   }
 }
+
+void Simulator::phase_transmit(Cycle t) {
+  if (cfg_.core == SimCore::Dense) {
+    const LinkId n = net_.num_net_links();
+    scan_.scan_visited += n;
+    for (LinkId l = 0; l < n; ++l) transmit_link(l, t);
+    return;
+  }
+  scan_.scan_visited += net_.tenant_links().size();
+  net_.tenant_links().for_each(
+      [&](std::size_t l) { transmit_link(static_cast<LinkId>(l), t); });
+}
+
+// --- Injection --------------------------------------------------------
 
 void Simulator::start_injection(NodeId node, unsigned inj_channel, MsgId id,
                                 Cycle t) {
@@ -247,73 +373,98 @@ void Simulator::start_injection(NodeId node, unsigned inj_channel, MsgId id,
   enroll_for_routing(ref);
 }
 
-void Simulator::phase_inject(Cycle t) {
-  const NodeId nodes = topo_.num_nodes();
+void Simulator::inject_node(NodeId node, Cycle t) {
   const unsigned inj = net_.params().inj_channels;
   const unsigned cap = net_.params().buf_flits;
 
-  for (NodeId node = 0; node < nodes; ++node) {
-    // 1. Stream body flits of messages already owning an injection
-    //    channel (one flit per channel per cycle, space permitting).
-    for (unsigned i = 0; i < inj; ++i) {
-      const VcRef ref{net_.inj_link(node, i), 0};
-      VcState& v = net_.vc(ref);
-      if (v.free()) continue;
-      Message& m = pool_[v.msg];
-      if (v.in_count < m.length && v.occupancy < cap) {
-        ++v.in_count;
-        ++v.occupancy;
-        m.last_progress = t;
-      }
-    }
-
-    // 2. Start new tenancies on free injection channels: absorbed
-    //    (deadlock-recovered) messages first — they were already in the
-    //    network and bypass the injection limiter — then the source
-    //    queue in FIFO order (the paper: queued messages have priority
-    //    over newer ones).
-    while (true) {
-      const int ch = net_.find_free_inj_channel(node);
-      if (ch < 0) break;
-
-      if (recovery_.has_ready(node, t)) {
-        const MsgId id = recovery_.pop(node);
-        start_injection(node, static_cast<unsigned>(ch), id, t);
-        continue;
-      }
-
-      if (queues_[node].empty()) break;
-      const PendingMessage& pm = queues_[node].front();
-
-      routing_->route(node, pm.dst, route_buf_);
-      core::InjectionRequest req;
-      req.node = node;
-      req.dst = pm.dst;
-      req.length_flits = pm.length;
-      req.route = &route_buf_;
-      req.cycle = t;
-      req.head_wait = t - head_since_[node];
-      req.queue_len = queues_[node].size();
-      if (!limiter_->allow(req, net_)) break;  // FIFO: head blocks the rest
-
-      const MsgId id = pool_.allocate();
-      Message& m = pool_[id];
-      m.src = node;
-      m.dst = pm.dst;
-      m.length = pm.length;
-      m.gen_time = pm.gen_time;
-      m.measured = pm.measured;
-      queues_[node].pop_front();
-      head_since_[node] = t;
-
-      activate(id);
-      start_injection(node, static_cast<unsigned>(ch), id, t);
-      collector_.on_injected(node, t, /*counts_fairness=*/true);
-      if (timeseries_) timeseries_->on_injected(t);
-      limiter_->on_injected(node, t);
+  // 1. Stream body flits of messages already owning an injection
+  //    channel (one flit per channel per cycle, space permitting).
+  for (unsigned i = 0; i < inj; ++i) {
+    const VcRef ref{net_.inj_link(node, i), 0};
+    VcState& v = net_.vc(ref);
+    if (v.free()) continue;
+    Message& m = pool_[v.msg];
+    if (v.in_count < m.length && v.occupancy < cap) {
+      ++v.in_count;
+      ++v.occupancy;
+      m.last_progress = t;
     }
   }
+
+  // 2. Start new tenancies on free injection channels: absorbed
+  //    (deadlock-recovered) messages first — they were already in the
+  //    network and bypass the injection limiter — then the source
+  //    queue in FIFO order (the paper: queued messages have priority
+  //    over newer ones).
+  while (true) {
+    const int ch = net_.find_free_inj_channel(node);
+    if (ch < 0) break;
+
+    if (recovery_.has_ready(node, t)) {
+      const MsgId id = recovery_.pop(node);
+      start_injection(node, static_cast<unsigned>(ch), id, t);
+      continue;
+    }
+
+    if (queues_[node].empty()) break;
+    const PendingMessage& pm = queues_[node].front();
+
+    routing_->route(node, pm.dst, route_buf_);
+    core::InjectionRequest req;
+    req.node = node;
+    req.dst = pm.dst;
+    req.length_flits = pm.length;
+    req.route = &route_buf_;
+    req.cycle = t;
+    req.head_wait = t - head_since_[node];
+    req.queue_len = queues_[node].size();
+    if (!limiter_->allow(req, net_)) break;  // FIFO: head blocks the rest
+
+    const MsgId id = pool_.allocate();
+    Message& m = pool_[id];
+    m.src = node;
+    m.dst = pm.dst;
+    m.length = pm.length;
+    m.gen_time = pm.gen_time;
+    m.measured = pm.measured;
+    queues_[node].pop_front();
+    --queue_total_;
+    head_since_[node] = t;
+
+    activate(id);
+    start_injection(node, static_cast<unsigned>(ch), id, t);
+    collector_.on_injected(node, t, /*counts_fairness=*/true);
+    if (timeseries_) timeseries_->on_injected(t);
+    limiter_->on_injected(node, t);
+  }
 }
+
+void Simulator::phase_inject(Cycle t) {
+  if (cfg_.core == SimCore::Dense) {
+    const NodeId nodes = topo_.num_nodes();
+    scan_.scan_visited += nodes;
+    for (NodeId node = 0; node < nodes; ++node) inject_node(node, t);
+    return;
+  }
+  const unsigned inj = net_.params().inj_channels;
+  scan_.scan_visited += inject_nodes_.size();
+  inject_nodes_.for_each([&](std::size_t n) {
+    const auto node = static_cast<NodeId>(n);
+    inject_node(node, t);
+    // Retire once fully idle: no injection tenancy to stream, nothing
+    // queued, nothing awaiting recovery re-injection. Any future event
+    // (queue push, recovery enqueue) re-inserts the node.
+    if (queues_[node].empty() && recovery_.pending(node) == 0) {
+      bool any_occupied = false;
+      for (unsigned i = 0; i < inj; ++i) {
+        any_occupied |= !net_.vc({net_.inj_link(node, i), 0}).free();
+      }
+      if (!any_occupied) inject_nodes_.erase(node);
+    }
+  });
+}
+
+// --- Deadlock handling ------------------------------------------------
 
 bool Simulator::requested_channels_frozen(NodeId node, Cycle t) const {
   const Cycle threshold = cfg_.detection.threshold;
@@ -343,7 +494,7 @@ void Simulator::absorb_deadlocked(MsgId id, Cycle t) {
   VcRef cur = m.head;
   while (cur.valid()) {
     const VcRef up = net_.vc(cur).upstream;
-    net_.link(cur.link).in_flight.drop_message(id);
+    net_.absorb_drop(cur.link, id);
     net_.vc(cur).pending_route = false;  // lazily dropped from the list
     net_.force_free(cur);
     cur = up;
@@ -356,7 +507,10 @@ void Simulator::absorb_deadlocked(MsgId id, Cycle t) {
   m.last_progress = t;
   recovery_.enqueue(absorb_node, id,
                     t + cfg_.recovery.base_delay + m.length);
+  inject_nodes_.insert(absorb_node);
 }
+
+// --- Delivery / bookkeeping -------------------------------------------
 
 void Simulator::deliver(MsgId id, Cycle t) {
   const Message& m = pool_[id];
@@ -382,8 +536,110 @@ void Simulator::deactivate(MsgId id) {
   active_.pop_back();
 }
 
+// --- Coherence / conservation checks ----------------------------------
+
+bool Simulator::check_active_sets(std::string* why) const {
+  const auto fail = [why](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  const Network& net = net_;
+
+  // Link sets are exact mirrors of link state in either core.
+  for (LinkId l = 0; l < net.num_net_links(); ++l) {
+    const bool tenant = net.link(l).active_vc_mask != 0;
+    if (tenant != net.tenant_links().contains(l)) {
+      return fail("tenant_links incoherent at link " + std::to_string(l));
+    }
+    const bool arriving = !net.link(l).in_flight.empty();
+    if (arriving != net.arrival_links().contains(l)) {
+      return fail("arrival_links incoherent at link " + std::to_string(l));
+    }
+  }
+  if (net.tenant_links().size() != net.tenant_links().recount() ||
+      net.arrival_links().size() != net.arrival_links().recount()) {
+    return fail("link set count drifted from bitmap population");
+  }
+
+  // Node sets cover every active node (they prune lazily, so they may
+  // temporarily hold extra members — and the dense core never prunes).
+  const unsigned ports = net.params().eje_channels;
+  const unsigned inj = net.params().inj_channels;
+  std::size_t queue_sum = 0;
+  for (NodeId node = 0; node < topo_.num_nodes(); ++node) {
+    queue_sum += queues_[node].size();
+    bool busy = false;
+    for (unsigned p = 0; p < ports; ++p) busy |= net.eject_port(node, p).busy();
+    if (busy && !eject_nodes_.contains(node)) {
+      return fail("busy ejection port not in eject set, node " +
+                  std::to_string(node));
+    }
+    bool inject_active = !queues_[node].empty() || recovery_.pending(node) > 0;
+    for (unsigned i = 0; i < inj; ++i) {
+      inject_active |= !net.vc({net.inj_link(node, i), 0}).free();
+    }
+    if (inject_active && !inject_nodes_.contains(node)) {
+      return fail("active node not in inject set, node " +
+                  std::to_string(node));
+    }
+  }
+  if (queue_sum != queue_total_) {
+    return fail("incremental queue total drifted from recount");
+  }
+  if (eject_nodes_.size() != eject_nodes_.recount() ||
+      inject_nodes_.size() != inject_nodes_.recount()) {
+    return fail("node set count drifted from bitmap population");
+  }
+
+  // Generation subscriptions (active core): each node sits in exactly
+  // the place gen_where_ says, and nowhere twice.
+  if (cfg_.core == SimCore::Active && workload_) {
+    std::size_t dense_n = 0, timed_n = 0;
+    for (NodeId node = 0; node < topo_.num_nodes(); ++node) {
+      const bool in_dense = gen_dense_.contains(node);
+      if (in_dense != (gen_where_[node] == GenSub::EveryCycle)) {
+        return fail("gen_dense_ disagrees with gen_where_ at node " +
+                    std::to_string(node));
+      }
+      dense_n += in_dense;
+      timed_n += gen_where_[node] == GenSub::Timed;
+    }
+    if (timed_n != gen_heap_.size()) {
+      return fail("gen heap holds duplicate or orphan subscriptions");
+    }
+    if (dense_n + timed_n > topo_.num_nodes()) {
+      return fail("duplicate generation subscription");
+    }
+  }
+  return true;
+}
+
+bool Simulator::check_conservation(std::string* why) const {
+  const auto fail = [why](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  const std::uint64_t accounted = delivered_ + active_.size() + queue_total_;
+  if (generated_total_ != accounted) {
+    return fail("message conservation violated: generated=" +
+                std::to_string(generated_total_) + " delivered=" +
+                std::to_string(delivered_) + " in-flight=" +
+                std::to_string(active_.size()) + " queued=" +
+                std::to_string(queue_total_));
+  }
+  if (active_.empty() && net_.flits_in_network() != 0) {
+    return fail("no active messages but " +
+                std::to_string(net_.flits_in_network()) +
+                " flits still in the network");
+  }
+  return true;
+}
+
+// --- Run protocol -----------------------------------------------------
+
 metrics::SimResult Simulator::run(const RunProtocol& protocol) {
   const auto wall_start = std::chrono::steady_clock::now();
+  const CoreScanStats scan_start = scan_;
   collector_ = metrics::Collector(topo_.num_nodes(), cycle_ + protocol.warmup,
                                   cycle_ + protocol.warmup + protocol.measure);
   const Cycle measure_end = cycle_ + protocol.warmup + protocol.measure;
@@ -419,6 +675,15 @@ metrics::SimResult Simulator::run(const RunProtocol& protocol) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  const CoreScanStats window = scan_.since(scan_start);
+  r.core = std::string(sim_core_name(cfg_.core));
+  r.cycles_per_second =
+      r.wall_seconds > 0.0
+          ? static_cast<double>(window.cycles) / r.wall_seconds
+          : 0.0;
+  r.scan_skip_ratio = window.skipped_scan_ratio();
+  r.avg_active_links = window.avg_active_links();
+  r.avg_active_nodes = window.avg_active_nodes();
   return r;
 }
 

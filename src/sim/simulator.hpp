@@ -16,10 +16,27 @@
 // transmit → inject → detect. A flit can arrive and be forwarded in the
 // same cycle (pipelining); a header routed in `route` sends its first
 // flit in the same cycle's `transmit`.
+//
+// Simulation cores: the same phase logic runs in one of two modes.
+//   * SimCore::Dense — the reference core: every phase scans every
+//     link/node and skips idle ones with a per-element guard.
+//   * SimCore::Active (default) — per-cycle cost proportional to the
+//     *active* components: each phase iterates an incrementally
+//     maintained active set (util::ActiveSet bitmaps, ascending index
+//     order — the same visit order as the dense scan, which is what
+//     makes the two cores bit-identical). Components enqueue themselves
+//     on state transitions (flit push, queue push, recovery enqueue,
+//     eject bind) and lazily retire when drained. Message generation is
+//     scheduled by each injection process's next_poll_hint, so idle
+//     sources are not polled at all.
+// tests/sim/test_core_equivalence.cpp enforces byte-identical results.
 #pragma once
 
 #include <deque>
 #include <memory>
+#include <queue>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/limiter.hpp"
@@ -35,6 +52,13 @@
 
 namespace wormsim::sim {
 
+/// Which cycle-loop implementation drives the phases (results are
+/// bit-identical; only the per-cycle cost differs).
+enum class SimCore : std::uint8_t { Dense, Active };
+
+SimCore parse_sim_core(std::string_view name);
+std::string_view sim_core_name(SimCore core) noexcept;
+
 struct SimulatorConfig {
   NetworkParams net{};
   routing::Algorithm algorithm = routing::Algorithm::TFAR;
@@ -43,7 +67,49 @@ struct SimulatorConfig {
   core::LimiterConfig limiter{};
   deadlock::DetectionConfig detection{};
   deadlock::RecoveryConfig recovery{};
+  SimCore core = SimCore::Active;
   std::uint64_t seed = 1;
+};
+
+/// Per-cycle scan accounting: how much per-phase iteration work the
+/// core actually did versus what a dense scan would have done. The
+/// active-link count is exact simulation state (identical across
+/// cores); active nodes and the skip ratio describe the active-set
+/// machinery, so the dense core reports 0 active nodes and a 0 ratio.
+struct CoreScanStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t scan_visited = 0;      // loop entries executed
+  std::uint64_t scan_total = 0;        // entries a dense scan would execute
+  std::uint64_t active_links_sum = 0;  // tenant links, summed per cycle
+  std::uint64_t active_nodes_sum = 0;  // injection-active nodes, per cycle
+
+  /// Fraction of dense scan work skipped (0 for the dense core).
+  double skipped_scan_ratio() const noexcept {
+    return scan_total ? 1.0 - static_cast<double>(scan_visited) /
+                                  static_cast<double>(scan_total)
+                      : 0.0;
+  }
+  double avg_active_links() const noexcept {
+    return cycles ? static_cast<double>(active_links_sum) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+  double avg_active_nodes() const noexcept {
+    return cycles ? static_cast<double>(active_nodes_sum) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+  /// Counter deltas since `earlier` (per-run windows inside one
+  /// simulator lifetime).
+  CoreScanStats since(const CoreScanStats& earlier) const noexcept {
+    CoreScanStats d;
+    d.cycles = cycles - earlier.cycles;
+    d.scan_visited = scan_visited - earlier.scan_visited;
+    d.scan_total = scan_total - earlier.scan_total;
+    d.active_links_sum = active_links_sum - earlier.active_links_sum;
+    d.active_nodes_sum = active_nodes_sum - earlier.active_nodes_sum;
+    return d;
+  }
 };
 
 /// Warm-up / measurement / drain protocol for one run.
@@ -108,11 +174,25 @@ class Simulator {
   }
   const SimulatorConfig& config() const noexcept { return cfg_; }
 
+  SimCore core() const noexcept { return cfg_.core; }
+  /// Cumulative scan accounting since construction.
+  const CoreScanStats& scan_stats() const noexcept { return scan_; }
+
+  /// Active-set coherence: the Network link sets exactly mirror link
+  /// state, the node sets cover every active node, and the incremental
+  /// counters match a recount. Returns false and fills `why` (if
+  /// non-null) on the first violation. Cheap enough for test loops; the
+  /// debug build runs it periodically via an assert.
+  bool check_active_sets(std::string* why = nullptr) const;
+  /// Message conservation: generated == delivered + in network/queues,
+  /// and an empty network holds zero flits. Same reporting convention.
+  bool check_conservation(std::string* why = nullptr) const;
+
   std::size_t messages_in_flight() const noexcept { return active_.size(); }
   std::size_t source_queue_len(NodeId node) const noexcept {
     return queues_[node].size();
   }
-  std::size_t source_queue_total() const noexcept;
+  std::size_t source_queue_total() const noexcept { return queue_total_; }
   std::size_t recovery_pending() const noexcept {
     return recovery_.pending_total();
   }
@@ -141,6 +221,24 @@ class Simulator {
   void phase_route(Cycle t);
   void phase_transmit(Cycle t);
   void phase_inject(Cycle t);
+
+  // Per-element phase bodies shared by both cores (the cores differ
+  // only in which elements they visit).
+  void eject_node(NodeId node, Cycle t);
+  void transmit_link(LinkId l, Cycle t);
+  void inject_node(NodeId node, Cycle t);
+
+  /// Source-queue push shared by push_message and phase_generate:
+  /// maintains the queue total, conservation counter and the
+  /// injection-active node set.
+  void enqueue_source(NodeId node, NodeId dst, std::uint32_t length,
+                      Cycle t);
+  /// Poll the workload for `node` at cycle `t` (both cores), then — in
+  /// the active core — re-subscribe the node according to its process's
+  /// next_poll_hint (every-cycle set, timed heap, or nothing for rate-0
+  /// sources until a workload mutation bumps the epoch).
+  void poll_node(NodeId node, Cycle t);
+  void poll_and_reschedule(NodeId node, Cycle t);
 
   /// FC3D condition: every VC the routing function offered has shown no
   /// flow-control activity for the detection threshold. Reads the
@@ -175,6 +273,28 @@ class Simulator {
   std::vector<VcRef> pending_route_;
   routing::RouteResult route_buf_;
   util::SmallVector<traffic::GeneratedMessage, 8> gen_buf_;
+
+  // --- Active-set state (maintained in both cores where the cost is
+  // O(1) per transition; consumed only by the active core) -------------
+  util::ActiveSet eject_nodes_;   // nodes with >= 1 busy ejection port
+  util::ActiveSet inject_nodes_;  // occupied inj VC, queued msg or
+                                  // pending recovery (lazily pruned)
+
+  // Generation scheduling (active core): a node is subscribed in
+  // exactly one place — gen_dense_ (poll every cycle), gen_heap_
+  // (poll at the hinted cycle) or nowhere (rate-0 source). gen_where_
+  // tracks which, for O(1) transitions and coherence checks.
+  enum class GenSub : std::uint8_t { None, EveryCycle, Timed };
+  util::ActiveSet gen_dense_;
+  std::priority_queue<std::pair<Cycle, NodeId>,
+                      std::vector<std::pair<Cycle, NodeId>>, std::greater<>>
+      gen_heap_;
+  std::vector<GenSub> gen_where_;
+  std::uint64_t gen_epoch_ = ~std::uint64_t{0};  // forces initial refill
+
+  CoreScanStats scan_;
+  std::size_t queue_total_ = 0;         // sum of queues_[*].size()
+  std::uint64_t generated_total_ = 0;   // every source-queue push ever
 
   Cycle cycle_ = 0;
   std::uint64_t deadlock_events_ = 0;

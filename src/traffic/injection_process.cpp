@@ -1,5 +1,6 @@
 #include "traffic/injection_process.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -30,6 +31,15 @@ void check_rate(double rate) {
   if (rate < 0.0) throw std::invalid_argument("injection rate must be >= 0");
 }
 
+/// Cycle containing the continuous arrival time `t`, saturating to
+/// kNeverPoll for times beyond the representable cycle range (tiny
+/// rates draw astronomically distant arrivals).
+std::uint64_t arrival_cycle(double t) {
+  constexpr double kMaxCycle = 1.8e19;  // < 2^64, safe to cast
+  if (!(t < kMaxCycle)) return kNeverPoll;
+  return static_cast<std::uint64_t>(t);
+}
+
 }  // namespace
 
 ExponentialProcess::ExponentialProcess(double msgs_per_cycle)
@@ -49,6 +59,14 @@ unsigned ExponentialProcess::arrivals(std::uint64_t cycle, util::Rng& rng) {
     next_arrival_ += rng.exponential(rate_);
   }
   return count;
+}
+
+std::uint64_t ExponentialProcess::next_poll_hint(std::uint64_t now) const {
+  if (rate_ <= 0.0) return kNeverPoll;
+  if (next_arrival_ < 0.0) return now + 1;  // first draw still pending
+  // After arrivals(now), next_arrival_ >= now + 1; every arrivals() call
+  // strictly before its cycle returns 0 without touching the RNG.
+  return std::max(arrival_cycle(next_arrival_), now + 1);
 }
 
 void ExponentialProcess::set_rate(double msgs_per_cycle) {
@@ -130,6 +148,23 @@ unsigned BurstyProcess::arrivals(std::uint64_t cycle, util::Rng& rng) {
     next_arrival_ += rng.exponential(rate);
   }
   return count;
+}
+
+std::uint64_t BurstyProcess::next_poll_hint(std::uint64_t now) const {
+  if (mean_rate_ <= 0.0) return kNeverPoll;
+  if (!initialized_) return now + 1;
+  std::uint64_t hint;
+  if (!on_) {
+    // Idle phase: nothing until the ON transition at phase_ends_, and
+    // the transition must be polled at exactly that cycle (the first
+    // in-burst arrival is drawn relative to the polling cycle).
+    hint = phase_ends_;
+  } else if (next_arrival_ < 0.0) {
+    hint = now + 1;  // in-burst arrival not yet drawn
+  } else {
+    hint = std::min(arrival_cycle(next_arrival_), phase_ends_);
+  }
+  return std::max(hint, now + 1);
 }
 
 void BurstyProcess::set_rate(double msgs_per_cycle) {

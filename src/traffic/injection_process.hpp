@@ -23,6 +23,10 @@ enum class ProcessKind { Exponential, Bernoulli, Bursty };
 ProcessKind parse_process(std::string_view name);
 std::string_view process_name(ProcessKind kind);
 
+/// next_poll_hint() value meaning "this process will never generate
+/// again unless set_rate() is called" (rate 0 sources).
+inline constexpr std::uint64_t kNeverPoll = ~std::uint64_t{0};
+
 class InjectionProcess {
  public:
   virtual ~InjectionProcess() = default;
@@ -30,6 +34,19 @@ class InjectionProcess {
   /// Number of messages this node generates during cycle `cycle`.
   /// Cycles must be polled in non-decreasing order.
   virtual unsigned arrivals(std::uint64_t cycle, util::Rng& rng) = 0;
+
+  /// Earliest cycle > `now` at which a future arrivals() call could
+  /// return non-zero or advance internal state, given that arrivals(now)
+  /// has just been called. Skipping arrivals() calls strictly before the
+  /// hint leaves the process (and the caller's RNG stream) in exactly
+  /// the state per-cycle polling would have produced — the contract the
+  /// active-set simulation core relies on for bit-identical results.
+  /// kNeverPoll means "never again until set_rate()". Processes that
+  /// cannot look ahead return now + 1 (poll every cycle); that is the
+  /// safe default.
+  virtual std::uint64_t next_poll_hint(std::uint64_t now) const {
+    return now + 1;
+  }
 
   /// Change the arrival rate (messages/node/cycle) mid-run; used by
   /// bursty workload studies.
@@ -46,6 +63,7 @@ class ExponentialProcess final : public InjectionProcess {
   explicit ExponentialProcess(double msgs_per_cycle);
 
   unsigned arrivals(std::uint64_t cycle, util::Rng& rng) override;
+  std::uint64_t next_poll_hint(std::uint64_t now) const override;
   void set_rate(double msgs_per_cycle) override;
   double rate() const noexcept override { return rate_; }
   ProcessKind kind() const noexcept override {
@@ -97,6 +115,7 @@ class BurstyProcess final : public InjectionProcess {
   BurstyProcess(double msgs_per_cycle, Params params);
 
   unsigned arrivals(std::uint64_t cycle, util::Rng& rng) override;
+  std::uint64_t next_poll_hint(std::uint64_t now) const override;
   void set_rate(double msgs_per_cycle) override;
   double rate() const noexcept override { return mean_rate_; }
   ProcessKind kind() const noexcept override { return ProcessKind::Bursty; }

@@ -44,6 +44,7 @@ void Workload::set_offered_load(double flits_per_node_cycle) {
   cfg_.offered_flits_per_node_cycle = flits_per_node_cycle;
   msg_rate_ = flits_per_node_cycle / cfg_.length.mean();
   for (auto& n : nodes_) n.process->set_rate(msg_rate_);
+  ++epoch_;  // outstanding next_poll hints are now stale
 }
 
 }  // namespace wormsim::traffic
