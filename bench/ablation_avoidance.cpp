@@ -39,21 +39,20 @@ int main(int argc, char** argv) {
     sweep.jobs = harness::jobs_flag(args);
     metrics::SweepStats stats;
     sweep.stats = &stats;
-    sweep.on_point = [](const harness::SweepPoint& p) {
-      std::fprintf(stderr, "  [%s @ %.3f] accepted=%.3f latency=%.1f\n",
-                   std::string(core::limiter_name(p.limiter)).c_str(),
-                   p.offered, p.result.accepted_flits_per_node_cycle,
-                   p.result.latency_mean);
-    };
+    sweep.progress = true;
+    harness::ObsSession session(args);
+    session.attach(sweep);
 
     std::cout << "# " << spec.figure << "\n";
     std::cout << "# expectation: " << spec.expectation << "\n";
     std::cout << harness::describe(cfg) << "\n";
-    harness::write_sweep_csv(std::cout, harness::run_sweep(sweep));
-    std::fprintf(stderr, "# %s\n", stats.summary().c_str());
+    const auto points = harness::run_sweep(sweep);
+    harness::write_sweep_csv(std::cout, points);
+    obs::logf(obs::LogLevel::Info, "# %s\n", stats.summary().c_str());
+    session.finish(sweep, points, &stats);
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    obs::logf(obs::LogLevel::Error, "error: %s\n", e.what());
     return 1;
   }
 }

@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
           cfg.seed = util::derive_stream_seed(base.seed, c.load_stream);
           results[i] = config::run_experiment(cfg);
           const std::lock_guard<std::mutex> lock(progress_mu);
-          std::fprintf(stderr,
+          obs::logf(obs::LogLevel::Info,
                        "  [%s/%s @ %.2f] accepted=%.3f p99=%.0f dl=%.2f%%\n",
                        c.process,
                        std::string(core::limiter_name(c.limiter)).c_str(),
@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
     }
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    obs::logf(obs::LogLevel::Error, "error: %s\n", e.what());
     return 1;
   }
 }

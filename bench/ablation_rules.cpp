@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
           cfg.seed = util::derive_stream_seed(base.seed, i);
           results[i] = run_point(cfg, grid[i].variant);
           const std::lock_guard<std::mutex> lock(progress_mu);
-          std::fprintf(stderr, "  [%s @ %.3f] accepted=%.3f latency=%.1f\n",
+          obs::logf(obs::LogLevel::Info, "  [%s @ %.3f] accepted=%.3f latency=%.1f\n",
                        grid[i].variant, grid[i].offered,
                        results[i].accepted_flits_per_node_cycle,
                        results[i].latency_mean);
@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
     }
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    obs::logf(obs::LogLevel::Error, "error: %s\n", e.what());
     return 1;
   }
 }

@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
           const Cell& c = grid[i];
           results[i] = run_point(base, c.vcs, c.buf, c.limiter, c.offered, i);
           const std::lock_guard<std::mutex> lock(progress_mu);
-          std::fprintf(stderr, "  [vcs=%u buf=%u %s @ %.2f] accepted=%.3f\n",
+          obs::logf(obs::LogLevel::Info, "  [vcs=%u buf=%u %s @ %.2f] accepted=%.3f\n",
                        c.vcs, c.buf,
                        std::string(core::limiter_name(c.limiter)).c_str(),
                        c.offered, results[i].accepted_flits_per_node_cycle);
@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
     }
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    obs::logf(obs::LogLevel::Error, "error: %s\n", e.what());
     return 1;
   }
 }

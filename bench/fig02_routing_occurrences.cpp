@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
       point.workload.offered_flits_per_node_cycle = offered;
       point.seed = cfg.seed + 0x9e3779b9ULL * ++index;
       const auto r = config::run_experiment(point);
-      std::fprintf(stderr, "  [probe @ %.3f] a=%.1f%% b=%.1f%% either=%.1f%%\n",
+      obs::logf(obs::LogLevel::Info, "  [probe @ %.3f] a=%.1f%% b=%.1f%% either=%.1f%%\n",
                    offered, r.probe.pct_a(), r.probe.pct_b(),
                    r.probe.pct_either());
       csv.row(offered, r.accepted_flits_per_node_cycle, r.probe.pct_a(),
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     }
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    obs::logf(obs::LogLevel::Error, "error: %s\n", e.what());
     return 1;
   }
 }

@@ -80,13 +80,13 @@ int main(int argc, char** argv) {
     std::cout << harness::describe(cfg) << "\n";
 
     const auto lf = run_fairness(cfg, core::LimiterKind::LF);
-    std::fprintf(stderr, "  [lf]   max|dev|=%.1f%% jain=%.4f\n", lf.max_abs,
+    obs::logf(obs::LogLevel::Info, "  [lf]   max|dev|=%.1f%% jain=%.4f\n", lf.max_abs,
                  lf.jain);
     const auto dril = run_fairness(cfg, core::LimiterKind::DRIL);
-    std::fprintf(stderr, "  [dril] max|dev|=%.1f%% jain=%.4f\n", dril.max_abs,
+    obs::logf(obs::LogLevel::Info, "  [dril] max|dev|=%.1f%% jain=%.4f\n", dril.max_abs,
                  dril.jain);
     const auto alo = run_fairness(cfg, core::LimiterKind::ALO);
-    std::fprintf(stderr, "  [alo]  max|dev|=%.1f%% jain=%.4f\n", alo.max_abs,
+    obs::logf(obs::LogLevel::Info, "  [alo]  max|dev|=%.1f%% jain=%.4f\n", alo.max_abs,
                  alo.jain);
     std::printf(
         "# sampling noise floor: %.0f msgs/node -> sigma = %.1f%% "
@@ -105,7 +105,7 @@ int main(int argc, char** argv) {
             dril.noise_floor_sigma_pct, alo.noise_floor_sigma_pct);
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    obs::logf(obs::LogLevel::Error, "error: %s\n", e.what());
     return 1;
   }
 }

@@ -10,19 +10,28 @@
 //   --warmup/--measure/--drain, --k/--n/--vcs/--msg-len/--pattern/--seed
 //   --core dense|active   cycle-loop implementation (default: active;
 //                         results are bit-identical, only speed differs)
+//   --log-level LEVEL     stderr verbosity (error|warn|info|debug);
+//                         WORMSIM_LOG sets the default
+//   --metrics-out FILE    JSONL telemetry, one record per sweep point
+//   --trace FILE          Chrome trace-event JSON (open in Perfetto)
+//   --spatial-out PREFIX  per-channel/per-node heatmap CSVs from one
+//                         extra instrumented run (--spatial-load,
+//                         --spatial-limiter select the point)
 //
 // Output: a banner line, the expectation note from the paper, then CSV
-// on stdout; per-point progress and the sweep's wall-clock/points-per-
-// second summary on stderr. CSV contents are identical for every job
-// count (per-point seed streams are split from the base seed by index).
+// on stdout; per-point progress/ETA and the sweep's wall-clock/points-
+// per-second summary on stderr. CSV contents are identical for every
+// job count (per-point seed streams are split from the base seed by
+// index) and unchanged by any of the observability flags.
 #pragma once
 
-#include <cstdio>
 #include <exception>
 #include <iostream>
 #include <string>
 
 #include "harness/sweep.hpp"
+#include "harness/telemetry.hpp"
+#include "obs/log.hpp"
 #include "util/cli.hpp"
 
 namespace wormsim::bench {
@@ -70,13 +79,9 @@ inline int run_figure(const FigureSpec& spec, int argc, char** argv) {
     sweep.jobs = harness::jobs_flag(args);
     metrics::SweepStats stats;
     sweep.stats = &stats;
-    sweep.on_point = [](const harness::SweepPoint& p) {
-      std::fprintf(stderr, "  [%s @ %.3f] accepted=%.3f latency=%.1f dl=%.2f%%%s\n",
-                   std::string(core::limiter_name(p.limiter)).c_str(),
-                   p.offered, p.result.accepted_flits_per_node_cycle,
-                   p.result.latency_mean, p.result.deadlock_pct,
-                   p.result.saturated ? " (saturated)" : "");
-    };
+    sweep.progress = true;
+    harness::ObsSession session(args);
+    session.attach(sweep);
 
     std::cout << "# " << spec.figure << " — "
               << traffic::pattern_name(spec.pattern) << " traffic, "
@@ -85,10 +90,11 @@ inline int run_figure(const FigureSpec& spec, int argc, char** argv) {
     std::cout << harness::describe(cfg) << "\n";
     const auto points = harness::run_sweep(sweep);
     harness::write_sweep_csv(std::cout, points);
-    std::fprintf(stderr, "# %s\n", stats.summary().c_str());
+    obs::logf(obs::LogLevel::Info, "# %s\n", stats.summary().c_str());
+    session.finish(sweep, points, &stats);
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    obs::logf(obs::LogLevel::Error, "error: %s\n", e.what());
     return 1;
   }
 }

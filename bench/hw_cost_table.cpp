@@ -8,6 +8,7 @@
 
 #include "core/cost_model.hpp"
 #include "util/cli.hpp"
+#include "obs/log.hpp"
 #include "util/csv.hpp"
 
 using namespace wormsim;
@@ -38,7 +39,7 @@ int main(int argc, char** argv) {
     (void)args;
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    obs::logf(obs::LogLevel::Error, "error: %s\n", e.what());
     return 1;
   }
 }

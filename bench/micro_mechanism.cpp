@@ -7,16 +7,23 @@
 // Besides the google-benchmark suite, `--hotpath-json [path]` runs the
 // dense-vs-active hot-path comparison at the FAST fig05 low-load and
 // saturation points and emits a JSON record (see BENCH_hotpath.json at
-// the repo root for the committed baseline).
+// the repo root for the committed baseline), and
+// `--obs-overhead-json [path]` measures the cost of the observability
+// hooks at the same operating points: instrumented-off (branch-on-null
+// checks only) against the committed BENCH_hotpath.json active-core
+// baseline (gate: <= 2% regression), plus tracing-on and
+// tracing+spatial for reference (see BENCH_obs_overhead.json).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "config/presets.hpp"
@@ -24,9 +31,13 @@
 #include "core/alo_gates.hpp"
 #include "core/dril.hpp"
 #include "core/linear_function.hpp"
+#include "metrics/spatial.hpp"
+#include "obs/log.hpp"
+#include "obs/tracer.hpp"
 #include "routing/routing.hpp"
 #include "routing/selection.hpp"
 #include "sim/simulator.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -238,7 +249,7 @@ int run_hotpath_json(const char* path) {
   if (path) {
     file.open(path);
     if (!file) {
-      std::fprintf(stderr, "error: cannot write %s\n", path);
+      obs::logf(obs::LogLevel::Error, "error: cannot write %s\n", path);
       return 1;
     }
     os = &file;
@@ -252,7 +263,7 @@ int run_hotpath_json(const char* path) {
   bool ok = true;
   for (std::size_t i = 0; i < 2; ++i) {
     const double offered = loads[i];
-    std::fprintf(stderr, "# hotpath: offered=%.2f (interleaved x%d)...\n",
+    obs::logf(obs::LogLevel::Info, "# hotpath: offered=%.2f (interleaved x%d)...\n",
                  offered, reps);
     const auto [dense, active] = measure_pair(offered, reps);
     const double speedup =
@@ -267,7 +278,7 @@ int run_hotpath_json(const char* path) {
     char sp[64];
     std::snprintf(sp, sizeof(sp), ", \"active_speedup\": %.2f}", speedup);
     *os << sp << (i + 1 < 2 ? ",\n" : "\n");
-    std::fprintf(stderr, "# hotpath: offered=%.2f speedup=%.2fx "
+    obs::logf(obs::LogLevel::Info, "# hotpath: offered=%.2f speedup=%.2fx "
                  "(active skip ratio %.3f)\n",
                  offered, speedup, active.scan_skip_ratio);
     // Acceptance gates: >= 2x at the low-load point, no more than 5%
@@ -278,7 +289,197 @@ int run_hotpath_json(const char* path) {
   *os << "  ],\n  \"criteria\": {\"low_load_speedup_min\": 2.0, "
          "\"saturation_regression_max_pct\": 5.0}\n}\n";
   if (!ok) {
-    std::fprintf(stderr, "# hotpath: ACCEPTANCE CRITERIA NOT MET\n");
+    obs::logf(obs::LogLevel::Error, "# hotpath: ACCEPTANCE CRITERIA NOT MET\n");
+    return 2;
+  }
+  return 0;
+}
+
+// --- Observability-overhead JSON mode ----------------------------------
+
+enum class ObsMode { Off, Tracing, TracingSpatial };
+
+metrics::SimResult run_obs_point(double offered, ObsMode mode,
+                                 std::uint64_t* events_recorded,
+                                 std::uint64_t* events_dropped) {
+  config::SimConfig cfg = hotpath_base();
+  cfg.sim.core = sim::SimCore::Active;
+  cfg.workload.offered_flits_per_node_cycle = offered;
+  if (mode == ObsMode::Off) return config::run_experiment(cfg);
+
+  const topo::KAryNCube topo(cfg.k, cfg.n);
+  obs::Tracer tracer;
+  metrics::SpatialMetrics spatial(topo.num_nodes(),
+                                  topo.num_nodes() * topo.num_channels(),
+                                  cfg.sim.net.num_vcs);
+  config::RunHooks hooks;
+  hooks.tracer = &tracer;
+  if (mode == ObsMode::TracingSpatial) hooks.spatial = &spatial;
+  metrics::SimResult r = config::run_experiment(cfg, hooks);
+  if (events_recorded) *events_recorded = tracer.events_recorded();
+  if (events_dropped) *events_dropped = tracer.events_dropped();
+  return r;
+}
+
+/// Committed active-core baseline throughput at `offered`, from
+/// BENCH_hotpath.json (0.0 when the file or point is absent).
+double baseline_cps(const util::JsonValue* baseline, double offered) {
+  if (!baseline) return 0.0;
+  const util::JsonValue* points = baseline->find("points");
+  if (!points || !points->is_array()) return 0.0;
+  for (const auto& p : points->array) {
+    const util::JsonValue* off = p.find("offered_flits_node_cycle");
+    if (!off || !off->is_number() ||
+        std::abs(off->number - offered) > 1e-9) {
+      continue;
+    }
+    const util::JsonValue* cps = p.at_path("active.cycles_per_second");
+    if (cps && cps->is_number()) return cps->number;
+  }
+  return 0.0;
+}
+
+int run_obs_overhead_json(const char* path, const char* baseline_path) {
+  const int reps = 3;
+  const double loads[] = {0.1, 1.2};
+  constexpr double kMaxOffOverheadPct = 2.0;
+
+  std::optional<util::JsonValue> baseline;
+  {
+    // Default baseline: BENCH_hotpath.json next to the cwd or at the
+    // repo root relative to build/bench.
+    const char* candidates[] = {baseline_path, "BENCH_hotpath.json",
+                                "../../BENCH_hotpath.json"};
+    for (const char* cand : candidates) {
+      if (!cand) continue;
+      std::ifstream in(cand);
+      if (!in) continue;
+      std::ostringstream text;
+      text << in.rdbuf();
+      std::string err;
+      baseline = util::json_parse(text.str(), &err);
+      if (!baseline) {
+        obs::logf(obs::LogLevel::Warn, "# obs-overhead: %s: %s\n", cand,
+                  err.c_str());
+      }
+      break;
+    }
+  }
+  if (!baseline) {
+    obs::logf(obs::LogLevel::Warn,
+              "# obs-overhead: no BENCH_hotpath.json baseline found; "
+              "reporting without the regression gate\n");
+  }
+
+  std::ostream* os = &std::cout;
+  std::ofstream file;
+  if (path) {
+    file.open(path);
+    if (!file) {
+      obs::logf(obs::LogLevel::Error, "error: cannot write %s\n", path);
+      return 1;
+    }
+    os = &file;
+  }
+
+  util::JsonWriter w(*os);
+  w.begin_object();
+  w.field("bench", "obs_overhead");
+  w.field("config",
+          "fig05 FAST point: 8-ary 2-cube (64 nodes), uniform, 16-flit "
+          "messages, warmup 3000, measure 8000, drain 8000, active core, "
+          "best of 3 interleaved runs per mode");
+  w.field("baseline_source",
+          baseline ? "BENCH_hotpath.json (active core)" : "unavailable");
+  w.key("points");
+  w.begin_array();
+
+  bool ok = true;
+  const auto emit_mode = [&](const char* name, const metrics::SimResult& r,
+                             std::uint64_t recorded, std::uint64_t dropped,
+                             bool traced) {
+    w.key(name);
+    w.begin_object();
+    w.field("cycles_per_second", r.cycles_per_second);
+    w.field("wall_seconds", r.wall_seconds);
+    w.field("total_cycles", r.total_cycles);
+    if (traced) {
+      w.field("events_recorded", recorded);
+      w.field("events_dropped", dropped);
+    }
+    w.end_object();
+  };
+
+  for (const double offered : loads) {
+    obs::logf(obs::LogLevel::Info,
+              "# obs-overhead: offered=%.2f (interleaved x%d)...\n", offered,
+              reps);
+    metrics::SimResult off, tracing, both;
+    std::uint64_t rec_t = 0, drop_t = 0, rec_b = 0, drop_b = 0;
+    run_obs_point(offered, ObsMode::Off, nullptr, nullptr);  // warmup
+    for (int i = 0; i < reps; ++i) {
+      metrics::SimResult o = run_obs_point(offered, ObsMode::Off, nullptr,
+                                           nullptr);
+      metrics::SimResult t =
+          run_obs_point(offered, ObsMode::Tracing, &rec_t, &drop_t);
+      metrics::SimResult b =
+          run_obs_point(offered, ObsMode::TracingSpatial, &rec_b, &drop_b);
+      if (i == 0 || o.cycles_per_second > off.cycles_per_second) {
+        off = std::move(o);
+      }
+      if (i == 0 || t.cycles_per_second > tracing.cycles_per_second) {
+        tracing = std::move(t);
+      }
+      if (i == 0 || b.cycles_per_second > both.cycles_per_second) {
+        both = std::move(b);
+      }
+    }
+
+    const double base = baseline_cps(baseline ? &*baseline : nullptr, offered);
+    // Positive = the instrumented-off build is slower than the
+    // committed pre-hooks baseline.
+    const double off_overhead_pct =
+        base > 0.0 && off.cycles_per_second > 0.0
+            ? (base / off.cycles_per_second - 1.0) * 100.0
+            : 0.0;
+    const double tracing_overhead_pct =
+        off.cycles_per_second > 0.0
+            ? (off.cycles_per_second / tracing.cycles_per_second - 1.0) * 100.0
+            : 0.0;
+    const double spatial_overhead_pct =
+        off.cycles_per_second > 0.0
+            ? (off.cycles_per_second / both.cycles_per_second - 1.0) * 100.0
+            : 0.0;
+
+    w.begin_object();
+    w.field("offered_flits_node_cycle", offered);
+    w.field("baseline_cycles_per_second", base);
+    emit_mode("off", off, 0, 0, false);
+    emit_mode("tracing", tracing, rec_t, drop_t, true);
+    emit_mode("tracing_spatial", both, rec_b, drop_b, true);
+    w.field("instrumented_off_overhead_pct", off_overhead_pct);
+    w.field("tracing_overhead_pct", tracing_overhead_pct);
+    w.field("tracing_spatial_overhead_pct", spatial_overhead_pct);
+    w.end_object();
+
+    obs::logf(obs::LogLevel::Info,
+              "# obs-overhead: offered=%.2f off=%.0f c/s (vs baseline "
+              "%+.2f%%), tracing %+.2f%%, +spatial %+.2f%%\n",
+              offered, off.cycles_per_second, off_overhead_pct,
+              tracing_overhead_pct, spatial_overhead_pct);
+    if (base > 0.0 && off_overhead_pct > kMaxOffOverheadPct) ok = false;
+  }
+
+  w.end_array();
+  w.key("criteria");
+  w.begin_object();
+  w.field("instrumented_off_overhead_max_pct", kMaxOffOverheadPct);
+  w.end_object();
+  w.end_object();
+  *os << "\n";
+  if (!ok) {
+    obs::logf(obs::LogLevel::Error,
+              "# obs-overhead: ACCEPTANCE CRITERIA NOT MET\n");
     return 2;
   }
   return 0;
@@ -287,9 +488,19 @@ int run_hotpath_json(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[i + 1];
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hotpath-json") == 0) {
       return run_hotpath_json(i + 1 < argc ? argv[i + 1] : nullptr);
+    }
+    if (std::strcmp(argv[i], "--obs-overhead-json") == 0) {
+      return run_obs_overhead_json(i + 1 < argc ? argv[i + 1] : nullptr,
+                                   baseline_path);
     }
   }
   benchmark::Initialize(&argc, argv);

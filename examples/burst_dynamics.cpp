@@ -15,6 +15,7 @@
 
 #include "config/presets.hpp"
 #include "harness/sweep.hpp"
+#include "obs/log.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 
@@ -62,7 +63,7 @@ int main(int argc, char** argv) {
     }
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    obs::logf(obs::LogLevel::Error, "error: %s\n", e.what());
     return 1;
   }
 }

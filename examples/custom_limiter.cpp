@@ -14,6 +14,7 @@
 
 #include "core/limiter.hpp"
 #include "harness/sweep.hpp"
+#include "obs/log.hpp"
 #include "sim/simulator.hpp"
 #include "util/cli.hpp"
 
@@ -101,7 +102,7 @@ int main(int argc, char** argv) {
     }
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    obs::logf(obs::LogLevel::Error, "error: %s\n", e.what());
     return 1;
   }
 }

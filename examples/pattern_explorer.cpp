@@ -10,6 +10,7 @@
 
 #include "config/presets.hpp"
 #include "harness/sweep.hpp"
+#include "obs/log.hpp"
 #include "traffic/patterns.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
@@ -116,7 +117,7 @@ int main(int argc, char** argv) {
     }
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    obs::logf(obs::LogLevel::Error, "error: %s\n", e.what());
     return 1;
   }
 }

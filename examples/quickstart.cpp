@@ -12,6 +12,7 @@
 
 #include "config/presets.hpp"
 #include "harness/sweep.hpp"
+#include "obs/log.hpp"
 #include "util/cli.hpp"
 
 using namespace wormsim;
@@ -46,7 +47,7 @@ int main(int argc, char** argv) {
     }
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    obs::logf(obs::LogLevel::Error, "error: %s\n", e.what());
     return 1;
   }
 }

@@ -9,11 +9,15 @@
 // Defaults use the 64-node reduced preset; pass --paper for the full
 // 8-ary 3-cube of the paper (slower). Points run in parallel (--jobs,
 // or the WORMSIM_JOBS env; output is identical for any job count).
-#include <cstdio>
+// Observability: --metrics-out FILE (JSONL telemetry), --trace FILE
+// (Perfetto-loadable Chrome trace), --spatial-out PREFIX (per-channel /
+// per-node heatmap CSVs), --log-level LEVEL.
 #include <exception>
 #include <iostream>
 
 #include "harness/sweep.hpp"
+#include "harness/telemetry.hpp"
+#include "obs/log.hpp"
 
 using namespace wormsim;
 
@@ -37,21 +41,18 @@ int main(int argc, char** argv) {
     spec.jobs = harness::jobs_flag(args);
     metrics::SweepStats stats;
     spec.stats = &stats;
-    spec.on_point = [](const harness::SweepPoint& p) {
-      std::fprintf(stderr, "  [%s @ %.3f] accepted=%.3f latency=%.1f%s\n",
-                   std::string(core::limiter_name(p.limiter)).c_str(),
-                   p.offered, p.result.accepted_flits_per_node_cycle,
-                   p.result.latency_mean,
-                   p.result.saturated ? " (saturated)" : "");
-    };
+    spec.progress = true;
+    harness::ObsSession session(args);
+    session.attach(spec);
 
     std::cout << harness::describe(base) << "\n";
     const auto results = harness::run_sweep(spec);
     harness::write_sweep_csv(std::cout, results);
-    std::fprintf(stderr, "# %s\n", stats.summary().c_str());
+    obs::logf(obs::LogLevel::Info, "# %s\n", stats.summary().c_str());
+    session.finish(spec, results, &stats);
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    obs::logf(obs::LogLevel::Error, "error: %s\n", e.what());
     return 1;
   }
 }

@@ -1,9 +1,24 @@
 #!/bin/sh
 # Regenerates bench_output.txt: every figure/ablation/micro bench at
 # full paper scale (8-ary 3-cube). Takes on the order of an hour on one
-# core.
+# core. Sweep benches also drop JSONL telemetry (one record per sweep
+# point plus a summary) into bench_telemetry/ so throughput and
+# skip-ratio diagnostics can be compared across machines and commits.
 set -u
 cd "$(dirname "$0")"
+mkdir -p bench_telemetry
 for b in build/bench/*; do
-  [ -x "$b" ] && [ -f "$b" ] && echo "===== $b" && "$b"
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  name=$(basename "$b")
+  echo "===== $b"
+  case "$name" in
+    fig01*|fig05*|fig06*|fig07*|fig08*|fig09*|fig10*|ablation_avoidance)
+      # Standard sweep benches: collect per-point JSONL telemetry.
+      "$b" --metrics-out "bench_telemetry/$name.jsonl"
+      ;;
+    *)
+      # Custom-loop and google-benchmark binaries: no sweep telemetry.
+      "$b"
+      ;;
+  esac
 done

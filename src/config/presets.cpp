@@ -82,4 +82,14 @@ metrics::SimResult run_experiment(const SimConfig& cfg) {
   return simulator->run(cfg.protocol);
 }
 
+metrics::SimResult run_experiment(const SimConfig& cfg,
+                                  const RunHooks& hooks) {
+  auto simulator = build_simulator(cfg);
+  simulator->set_tracer(hooks.tracer);
+  simulator->set_spatial(hooks.spatial);
+  metrics::SimResult r = simulator->run(cfg.protocol);
+  simulator->finish_spatial();
+  return r;
+}
+
 }  // namespace wormsim::config

@@ -37,7 +37,22 @@ void validate(const SimConfig& cfg);
 /// Build a ready-to-run Simulator (topology + workload wired up).
 std::unique_ptr<sim::Simulator> build_simulator(const SimConfig& cfg);
 
+/// Optional observers to attach to a run. Both are borrowed (caller
+/// keeps ownership) and may be null; null hooks leave the simulator's
+/// hot path untouched.
+struct RunHooks {
+  obs::Tracer* tracer = nullptr;
+  metrics::SpatialMetrics* spatial = nullptr;
+};
+
 /// Convenience: build, run the protocol, return the result.
 metrics::SimResult run_experiment(const SimConfig& cfg);
+
+/// As above, with observers attached for the duration of the run.
+/// `hooks.spatial` must be sized for the config's topology
+/// (num_nodes, num_nodes * 2n channels, num_vcs); end-of-run link
+/// counters are copied into it before returning.
+metrics::SimResult run_experiment(const SimConfig& cfg,
+                                  const RunHooks& hooks);
 
 }  // namespace wormsim::config

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/log.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -35,6 +36,48 @@ std::vector<GridPoint> flatten_grid(const SweepSpec& spec) {
   }
   return grid;
 }
+
+std::string point_label(const GridPoint& p) {
+  std::ostringstream os;
+  os << core::limiter_name(p.limiter) << " @ " << p.offered;
+  return os.str();
+}
+
+/// Serialized (caller holds the progress mutex) per-point progress line.
+class ProgressMeter {
+ public:
+  ProgressMeter(bool enabled, std::uint64_t total)
+      : enabled_(enabled),
+        total_(total),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void on_done(const GridPoint& p, const metrics::SimResult& r) {
+    ++done_;
+    if (!enabled_) return;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const double eta =
+        done_ ? elapsed / static_cast<double>(done_) *
+                    static_cast<double>(total_ - done_)
+              : 0.0;
+    obs::logf(obs::LogLevel::Info,
+              "[%llu/%llu] %s: latency=%.1f accepted=%.4f dl=%.2f%%%s "
+              "(%.1fs elapsed, eta %.0fs)\n",
+              static_cast<unsigned long long>(done_),
+              static_cast<unsigned long long>(total_),
+              point_label(p).c_str(), r.latency_mean,
+              r.accepted_flits_per_node_cycle, r.deadlock_pct,
+              r.saturated ? " saturated" : "", elapsed, eta);
+  }
+
+ private:
+  bool enabled_;
+  std::uint64_t done_ = 0;
+  std::uint64_t total_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 config::SimConfig point_config(const SweepSpec& spec, const GridPoint& p,
                                std::uint64_t stream) {
@@ -78,13 +121,25 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
 
   std::vector<SweepPoint> points(grid.size());
   std::mutex progress_mu;
+  ProgressMeter meter(spec.progress, grid.size());
+  config::RunHooks hooks;
+  hooks.tracer = spec.tracer;
   util::parallel_for(grid.size(), jobs, [&](std::size_t i) {
     const config::SimConfig cfg = point_config(spec, grid[i], i);
+    if (spec.tracer) {
+      spec.tracer->begin_point(static_cast<std::uint32_t>(i),
+                               point_label(grid[i]));
+    }
     SweepPoint point{grid[i].limiter, grid[i].offered,
-                     config::run_experiment(cfg)};
-    if (spec.on_point) {
+                     config::run_experiment(cfg, hooks)};
+    if (spec.tracer) {
+      spec.tracer->end_point(static_cast<std::uint32_t>(i),
+                             point.result.total_cycles);
+    }
+    {
       const std::lock_guard<std::mutex> lock(progress_mu);
-      spec.on_point(point);
+      meter.on_done(grid[i], point.result);
+      if (spec.on_point) spec.on_point(point);
     }
     points[i] = std::move(point);
   });
@@ -127,13 +182,28 @@ std::vector<ReplicatedPoint> run_replicated_sweep(const SweepSpec& spec,
   // would make the reported mean/sd depend on thread scheduling.
   std::vector<metrics::SimResult> runs(total);
   std::mutex progress_mu;
+  ProgressMeter meter(spec.progress, total);
+  config::RunHooks hooks;
+  hooks.tracer = spec.tracer;
   util::parallel_for(total, jobs, [&](std::size_t task) {
     const GridPoint& p = grid[task / replications];
     const config::SimConfig cfg = point_config(spec, p, task);
-    runs[task] = config::run_experiment(cfg);
-    if (spec.on_point) {
+    if (spec.tracer) {
+      spec.tracer->begin_point(
+          static_cast<std::uint32_t>(task),
+          point_label(p) + " rep " +
+              std::to_string(task % replications));
+    }
+    runs[task] = config::run_experiment(cfg, hooks);
+    if (spec.tracer) {
+      spec.tracer->end_point(static_cast<std::uint32_t>(task),
+                             runs[task].total_cycles);
+    }
+    {
       const std::lock_guard<std::mutex> lock(progress_mu);
-      spec.on_point(SweepPoint{p.limiter, p.offered, runs[task]});
+      meter.on_done(p, runs[task]);
+      if (spec.on_point) spec.on_point(SweepPoint{p.limiter, p.offered,
+                                                  runs[task]});
     }
   });
   if (spec.stats) {
@@ -214,6 +284,9 @@ void apply_common_flags(config::SimConfig& cfg, const util::ArgParser& args) {
   cfg.protocol.measure = args.get_uint("measure", cfg.protocol.measure);
   cfg.protocol.drain_max = args.get_uint("drain", cfg.protocol.drain_max);
   cfg.seed = args.get_uint("seed", cfg.seed);
+  if (auto lv = args.get("log-level")) {
+    obs::set_log_level(obs::parse_log_level(*lv));
+  }
 }
 
 unsigned jobs_flag(const util::ArgParser& args) {

@@ -26,6 +26,7 @@
 #include "config/presets.hpp"
 #include "metrics/collector.hpp"
 #include "metrics/sweep_stats.hpp"
+#include "obs/tracer.hpp"
 #include "util/stats.hpp"
 #include "util/cli.hpp"
 
@@ -51,6 +52,14 @@ struct SweepSpec {
   unsigned jobs = 0;
   /// Optional out-param: wall-clock/throughput counters for this sweep.
   metrics::SweepStats* stats = nullptr;
+  /// Optional event tracer. Each simulation is bracketed with
+  /// begin_point/end_point (pid = flattened grid index, which matches
+  /// the telemetry record index) and attached for the duration of the
+  /// run. Purely observational: results are unchanged.
+  obs::Tracer* tracer = nullptr;
+  /// Emit a "[done/total] mechanism @ load ... eta" line on stderr
+  /// after every point (obs::logf at Info level).
+  bool progress = false;
 };
 
 /// Run every (limiter, load) combination; each point uses a fresh

@@ -1,0 +1,201 @@
+#include "harness/telemetry.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/log.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace wormsim::harness {
+
+namespace {
+
+void emit_config(util::JsonWriter& w, const config::SimConfig& cfg) {
+  w.key("config");
+  w.begin_object();
+  w.field("k", cfg.k);
+  w.field("n", cfg.n);
+  w.field("vcs", cfg.sim.net.num_vcs);
+  w.field("buf_flits", cfg.sim.net.buf_flits);
+  w.field("inj_channels", cfg.sim.net.inj_channels);
+  w.field("eje_channels", cfg.sim.net.eje_channels);
+  w.field("routing", routing::algorithm_name(cfg.sim.algorithm));
+  w.field("selection", routing::selection_name(cfg.sim.selection));
+  w.field("core", sim::sim_core_name(cfg.sim.core));
+  w.field("pattern", traffic::pattern_name(cfg.workload.pattern));
+  w.field("msg_len", cfg.workload.length.fixed);
+  w.field("deadlock_threshold", cfg.sim.detection.threshold);
+  w.field("warmup", cfg.protocol.warmup);
+  w.field("measure", cfg.protocol.measure);
+  w.field("drain_max", cfg.protocol.drain_max);
+  w.field("seed", cfg.seed);
+  w.end_object();
+}
+
+void emit_result(util::JsonWriter& w, const metrics::SimResult& r) {
+  w.key("result");
+  w.begin_object();
+  w.field("latency_mean", r.latency_mean);
+  w.field("latency_stddev", r.latency_stddev);
+  w.field("latency_p50", r.latency_p50);
+  w.field("latency_p95", r.latency_p95);
+  w.field("latency_p99", r.latency_p99);
+  w.field("accepted_flits_per_node_cycle", r.accepted_flits_per_node_cycle);
+  w.field("deadlock_detections", r.deadlock_detections);
+  w.field("deadlock_pct", r.deadlock_pct);
+  w.field("messages_generated", r.messages_generated);
+  w.field("messages_injected", r.messages_injected);
+  w.field("messages_delivered", r.messages_delivered);
+  w.field("avg_queue_len", r.avg_queue_len);
+  w.field("max_queue_len", r.max_queue_len);
+  w.field("probe_pct_a", r.probe.pct_a());
+  w.field("probe_pct_b", r.probe.pct_b());
+  w.field("probe_pct_either", r.probe.pct_either());
+  w.field("total_cycles", r.total_cycles);
+  w.field("fully_drained", r.fully_drained);
+  w.field("saturated", r.saturated);
+  w.end_object();
+}
+
+/// Wall-clock-dependent diagnostics, quarantined under "perf" so the
+/// rest of a record is reproducible bit-for-bit for a fixed seed.
+void emit_perf(util::JsonWriter& w, const metrics::SimResult& r) {
+  w.key("perf");
+  w.begin_object();
+  w.field("wall_seconds", r.wall_seconds);
+  w.field("cycles_per_second", r.cycles_per_second);
+  w.field("scan_skip_ratio", r.scan_skip_ratio);
+  w.field("avg_active_links", r.avg_active_links);
+  w.field("avg_active_nodes", r.avg_active_nodes);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_sweep_telemetry(std::ostream& out, const SweepSpec& spec,
+                           const std::vector<SweepPoint>& points,
+                           const metrics::SweepStats* stats) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    util::JsonWriter w(out);
+    w.begin_object();
+    w.field("schema", kTelemetrySchema);
+    w.field("kind", "point");
+    w.field("point", static_cast<std::uint64_t>(i));
+    w.field("mechanism", core::limiter_name(p.limiter));
+    w.field("offered", p.offered);
+    config::SimConfig cfg = spec.base;
+    cfg.sim.limiter.kind = p.limiter;
+    cfg.workload.offered_flits_per_node_cycle = p.offered;
+    cfg.seed = util::derive_stream_seed(spec.base.seed, i);
+    emit_config(w, cfg);
+    emit_result(w, p.result);
+    emit_perf(w, p.result);
+    w.end_object();
+    out << "\n";
+  }
+
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", kTelemetrySchema);
+  w.field("kind", "summary");
+  w.field("points", static_cast<std::uint64_t>(points.size()));
+  if (stats) {
+    w.field("simulations", stats->simulations);
+    w.field("jobs", stats->jobs);
+    w.field("sim_cycles", stats->sim_cycles);
+    w.key("perf");
+    w.begin_object();
+    w.field("wall_seconds", stats->wall_seconds);
+    w.field("points_per_second", stats->points_per_second());
+    w.field("cycles_per_second", stats->cycles_per_second());
+    w.end_object();
+  }
+  if (spec.tracer) {
+    w.key("trace");
+    w.begin_object();
+    w.field("events_recorded", spec.tracer->events_recorded());
+    w.field("events_dropped", spec.tracer->events_dropped());
+    w.end_object();
+  }
+  w.end_object();
+  out << "\n";
+}
+
+void capture_spatial(const config::SimConfig& base, core::LimiterKind limiter,
+                     double offered, const std::string& prefix) {
+  config::SimConfig cfg = base;
+  cfg.sim.limiter.kind = limiter;
+  cfg.workload.offered_flits_per_node_cycle = offered;
+
+  const topo::KAryNCube topo(cfg.k, cfg.n);
+  metrics::SpatialMetrics spatial(
+      topo.num_nodes(), topo.num_nodes() * topo.num_channels(),
+      cfg.sim.net.num_vcs);
+  config::RunHooks hooks;
+  hooks.spatial = &spatial;
+  const metrics::SimResult r = config::run_experiment(cfg, hooks);
+
+  const auto write = [&](const char* suffix, auto&& fn) {
+    const std::string path = prefix + suffix;
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    fn(out);
+    obs::logf(obs::LogLevel::Info, "wrote %s\n", path.c_str());
+  };
+  write("_channels.csv", [&](std::ostream& out) {
+    spatial.write_channel_csv(out, topo, r.total_cycles);
+  });
+  write("_nodes.csv", [&](std::ostream& out) {
+    spatial.write_node_csv(out, topo, r.total_cycles);
+  });
+  write("_vc_occupancy.csv", [&](std::ostream& out) {
+    spatial.write_vc_occupancy_csv(out, topo);
+  });
+}
+
+ObsSession::ObsSession(const util::ArgParser& args)
+    : metrics_path_(args.get_string("metrics-out", "")),
+      trace_path_(args.get_string("trace", "")),
+      spatial_prefix_(args.get_string("spatial-out", "")),
+      spatial_limiter_(args.get_string("spatial-limiter", "none")),
+      spatial_load_(args.get_double("spatial-load", 1.2)) {
+  if (!trace_path_.empty() || !metrics_path_.empty()) {
+    tracer_ = std::make_unique<obs::Tracer>(
+        static_cast<std::size_t>(args.get_uint(
+            "trace-capacity", std::size_t{1} << 16)));
+  }
+}
+
+ObsSession::~ObsSession() = default;
+
+void ObsSession::attach(SweepSpec& spec) { spec.tracer = tracer_.get(); }
+
+void ObsSession::finish(const SweepSpec& spec,
+                        const std::vector<SweepPoint>& points,
+                        const metrics::SweepStats* stats) {
+  if (!metrics_path_.empty()) {
+    std::ofstream out(metrics_path_);
+    if (!out) throw std::runtime_error("cannot open " + metrics_path_);
+    write_sweep_telemetry(out, spec, points, stats);
+    obs::logf(obs::LogLevel::Info, "wrote %s (%zu point records)\n",
+              metrics_path_.c_str(), points.size());
+  }
+  if (!trace_path_.empty() && tracer_) {
+    std::ofstream out(trace_path_);
+    if (!out) throw std::runtime_error("cannot open " + trace_path_);
+    tracer_->write_chrome_trace(out);
+    obs::logf(obs::LogLevel::Info,
+              "wrote %s (%llu events, %llu dropped)\n", trace_path_.c_str(),
+              static_cast<unsigned long long>(tracer_->events_recorded()),
+              static_cast<unsigned long long>(tracer_->events_dropped()));
+  }
+  if (!spatial_prefix_.empty()) {
+    capture_spatial(spec.base, core::parse_limiter(spatial_limiter_),
+                    spatial_load_, spatial_prefix_);
+  }
+}
+
+}  // namespace wormsim::harness

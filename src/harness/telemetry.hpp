@@ -1,0 +1,76 @@
+// Machine-readable run telemetry for sweep harnesses.
+//
+// `write_sweep_telemetry` emits one schema-versioned JSON line per
+// sweep point (config echo, the full SimResult, engine performance
+// counters, tracer drop counts) plus a trailing summary record, so a
+// whole bench run can be joined, diffed and plotted without parsing
+// banners. Records are written in point-index order after the sweep
+// finishes, which makes the file deterministic for a fixed seed — for
+// any --jobs count — modulo the wall-clock fields, which are isolated
+// under the "perf" key so consumers (and the determinism test) can
+// strip them wholesale.
+//
+// `ObsSession` bundles the observability command-line surface shared
+// by every bench/example:
+//   --metrics-out FILE     JSONL telemetry (one record per point)
+//   --trace FILE           Chrome trace-event JSON (Perfetto-loadable)
+//   --trace-capacity N     per-thread tracer ring capacity (default 64k)
+//   --spatial-out PREFIX   after the sweep, run one instrumented
+//                          simulation and write PREFIX_channels.csv,
+//                          PREFIX_nodes.csv, PREFIX_vc_occupancy.csv
+//   --spatial-load X       offered load for that run (default 1.2)
+//   --spatial-limiter M    mechanism for that run (default none)
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+#include "metrics/spatial.hpp"
+
+namespace wormsim::harness {
+
+inline constexpr std::string_view kTelemetrySchema = "wormsim.telemetry/1";
+
+/// One "point" JSONL record per sweep point (index order), then one
+/// "summary" record. `stats` and `spec.tracer` may be null; their
+/// sections are omitted accordingly.
+void write_sweep_telemetry(std::ostream& out, const SweepSpec& spec,
+                           const std::vector<SweepPoint>& points,
+                           const metrics::SweepStats* stats);
+
+/// Run one instrumented simulation of `base` (limiter/load overridden)
+/// and write the spatial CSV tables to `<prefix>_channels.csv`,
+/// `<prefix>_nodes.csv` and `<prefix>_vc_occupancy.csv`.
+void capture_spatial(const config::SimConfig& base, core::LimiterKind limiter,
+                     double offered, const std::string& prefix);
+
+/// Per-binary observability session: parses the flags above, owns the
+/// tracer, and writes every requested output after the sweep.
+class ObsSession {
+ public:
+  explicit ObsSession(const util::ArgParser& args);
+  ~ObsSession();
+
+  /// Attach the tracer (if tracing or telemetry was requested) to the
+  /// sweep about to run.
+  void attach(SweepSpec& spec);
+
+  /// Write telemetry/trace/spatial outputs. Call once, after the sweep.
+  void finish(const SweepSpec& spec, const std::vector<SweepPoint>& points,
+              const metrics::SweepStats* stats);
+
+  obs::Tracer* tracer() noexcept { return tracer_.get(); }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::string spatial_prefix_;
+  std::string spatial_limiter_;
+  double spatial_load_;
+  std::unique_ptr<obs::Tracer> tracer_;
+};
+
+}  // namespace wormsim::harness

@@ -1,0 +1,88 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wormsim::obs {
+
+namespace {
+
+std::atomic<int>& level_store() noexcept {
+  // First touch seeds the level from the environment; set_log_level and
+  // --log-level overwrite it afterwards.
+  static std::atomic<int> level = [] {
+    int lvl = static_cast<int>(LogLevel::Info);
+    if (const char* env = std::getenv("WORMSIM_LOG")) {
+      try {
+        lvl = static_cast<int>(parse_log_level(env));
+      } catch (const std::invalid_argument&) {
+        std::fprintf(stderr,
+                     "warning: ignoring invalid WORMSIM_LOG value '%s' "
+                     "(expected error|warn|info|debug)\n",
+                     env);
+      }
+    }
+    return lvl;
+  }();
+  return level;
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(level_store().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  level_store().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "error") return LogLevel::Error;
+  if (name == "warn" || name == "warning") return LogLevel::Warn;
+  if (name == "info") return LogLevel::Info;
+  if (name == "debug") return LogLevel::Debug;
+  throw std::invalid_argument("unknown log level (error|warn|info|debug): " +
+                              std::string(name));
+}
+
+std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Error: return "error";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Info: return "info";
+    case LogLevel::Debug: return "debug";
+  }
+  return "unknown";
+}
+
+void vlogf(LogLevel level, const char* fmt, std::va_list args) {
+  if (!log_enabled(level)) return;
+  char stack_buf[512];
+  std::va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, copy);
+  va_end(copy);
+  if (n < 0) return;
+  if (static_cast<std::size_t>(n) < sizeof(stack_buf)) {
+    std::fwrite(stack_buf, 1, static_cast<std::size_t>(n), stderr);
+    return;
+  }
+  std::vector<char> heap_buf(static_cast<std::size_t>(n) + 1);
+  std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, args);
+  std::fwrite(heap_buf.data(), 1, static_cast<std::size_t>(n), stderr);
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  std::va_list args;
+  va_start(args, fmt);
+  vlogf(level, fmt, args);
+  va_end(args);
+}
+
+}  // namespace wormsim::obs

@@ -1,0 +1,47 @@
+// Leveled diagnostic logging for benches, examples and the harness.
+//
+// One process-wide level filters everything written through logf();
+// the default (Info) matches the stderr chatter the benches have always
+// produced, so output is unchanged unless the user asks for more or
+// less. Controls, in increasing precedence:
+//   * WORMSIM_LOG=error|warn|info|debug   environment default
+//   * --log-level <name>                  per-invocation override
+//     (wired through harness::apply_common_flags)
+//   * obs::set_log_level(...)             programmatic
+//
+// logf() formats with printf semantics and writes the whole line to
+// stderr in a single call, so concurrent sweep workers never interleave
+// mid-line. No prefixes or timestamps are added: bench stderr stays
+// byte-compatible with what the figure scripts already expect.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace wormsim::obs {
+
+enum class LogLevel : int { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Current threshold (lazily initialized from WORMSIM_LOG on first use).
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Throws std::invalid_argument for unknown names.
+LogLevel parse_log_level(std::string_view name);
+std::string_view log_level_name(LogLevel level) noexcept;
+
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+/// printf-style message at `level`; dropped entirely when filtered.
+/// The caller supplies its own trailing newline (matching the fprintf
+/// call sites this replaces).
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(LogLevel level, const char* fmt, ...);
+
+void vlogf(LogLevel level, const char* fmt, std::va_list args);
+
+}  // namespace wormsim::obs

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <chrono>
@@ -62,6 +63,11 @@ void Simulator::enqueue_source(NodeId node, NodeId dst, std::uint32_t length,
   ++generated_total_;
   inject_nodes_.insert(node);
   collector_.on_generated(t);
+  if (tracer_) {
+    tracer_->record(t, obs::EventKind::QueueEnqueue, node,
+                    /*aux8=*/0, static_cast<std::uint16_t>(length),
+                    static_cast<std::uint32_t>(queues_[node].size()));
+  }
 }
 
 bool Simulator::push_message(NodeId src, NodeId dst, std::uint32_t length) {
@@ -89,6 +95,15 @@ void Simulator::step() {
     const std::size_t total = queue_total_;
     collector_.on_queue_sample(total);
     if (timeseries_) timeseries_->on_queue_sample(t, total);
+    if (spatial_) {
+      for (NodeId node = 0; node < topo_.num_nodes(); ++node) {
+        spatial_->on_queue_sample(node, queues_[node].size());
+      }
+      for (LinkId l = 0; l < net_.num_net_links(); ++l) {
+        spatial_->on_link_occupancy_sample(
+            l, static_cast<unsigned>(std::popcount(net_.link(l).active_vc_mask)));
+      }
+    }
 #ifndef NDEBUG
     std::string why;
     assert(check_active_sets(&why) && why.c_str());
@@ -203,8 +218,13 @@ void Simulator::eject_node(NodeId node, Cycle t) {
     m.last_progress = t;
     collector_.on_flits_ejected(t, 1);
     if (timeseries_) timeseries_->on_flits_ejected(t, 1);
+    if (spatial_) spatial_->on_ejected_flit(node);
     if (u.out_count == m.length) {
       net_.set_active(port.src, false);
+      if (tracer_) {
+        tracer_->record(t, obs::EventKind::VcRelease, port.src.link,
+                        port.src.vc, 0, port.msg);
+      }
       u.clear();
       const MsgId id = port.msg;
       port.msg = kNoMsg;
@@ -275,6 +295,12 @@ void Simulator::phase_route(Cycle t) {
           core::evaluate_alo(net_, node, route_buf_.useful_phys_mask);
       collector_.on_probe(t, cond.all_useful_partially_free,
                           cond.any_useful_completely_free);
+      if (tracer_) {
+        const std::uint8_t rules = static_cast<std::uint8_t>(
+            (cond.all_useful_partially_free ? 1u : 0u) |
+            (cond.any_useful_completely_free ? 2u : 0u));
+        tracer_->record(t, obs::EventKind::AloProbe, node, rules);
+      }
     }
     const NodeFreeVcView view(net_, node);
     const auto pick = selector_.select(route_buf_, view, alloc_rr_[node]);
@@ -300,6 +326,9 @@ void Simulator::phase_route(Cycle t) {
     ++alloc_rr_[node];
     const VcRef out{net_.net_link(node, pick->channel), pick->vc};
     net_.allocate_out_vc(ref, out, v.msg, t);
+    if (tracer_) {
+      tracer_->record(t, obs::EventKind::VcAlloc, out.link, out.vc, 0, v.msg);
+    }
     m.head = out;
     m.entered_network = true;
     m.last_progress = t;
@@ -330,7 +359,11 @@ void Simulator::transmit_link(LinkId l, Cycle t) {
     if (u.buffered() == 0) continue;
     assert(u.out_kind == VcState::OutKind::Vc && u.out == ref);
     Message& m = pool_[w.msg];
-    net_.transmit_flit(w.upstream, m.length, t);
+    const VcRef up = w.upstream;  // transmit may clear it when the tail leaves
+    const bool freed = net_.transmit_flit(up, m.length, t);
+    if (freed && tracer_) {
+      tracer_->record(t, obs::EventKind::VcRelease, up.link, up.vc, 0, w.msg);
+    }
     m.last_progress = t;
     link.rr_next = static_cast<std::uint8_t>((vcn + 1) % vcs);
     break;  // one flit per physical link per cycle
@@ -362,6 +395,9 @@ void Simulator::start_injection(NodeId node, unsigned inj_channel, MsgId id,
   v.occupancy = 1;
   v.header_arrival = t;
   net_.set_active(ref, true);
+  if (tracer_) {
+    tracer_->record(t, obs::EventKind::VcAlloc, ref.link, ref.vc, 0, id);
+  }
 
   Message& m = pool_[id];
   m.head = ref;
@@ -402,6 +438,9 @@ void Simulator::inject_node(NodeId node, Cycle t) {
 
     if (recovery_.has_ready(node, t)) {
       const MsgId id = recovery_.pop(node);
+      if (tracer_) {
+        tracer_->record(t, obs::EventKind::RecoveryReinject, node, 0, 0, id);
+      }
       start_injection(node, static_cast<unsigned>(ch), id, t);
       continue;
     }
@@ -418,7 +457,25 @@ void Simulator::inject_node(NodeId node, Cycle t) {
     req.cycle = t;
     req.head_wait = t - head_since_[node];
     req.queue_len = queues_[node].size();
-    if (!limiter_->allow(req, net_)) break;  // FIFO: head blocks the rest
+    if (!limiter_->allow(req, net_)) {
+      if (tracer_) {
+        tracer_->record(t, obs::EventKind::GateBlock, node,
+                        static_cast<std::uint8_t>(cfg_.limiter.kind),
+                        static_cast<std::uint16_t>(pm.length),
+                        static_cast<std::uint32_t>(std::min<Cycle>(
+                            req.head_wait,
+                            std::numeric_limits<std::uint32_t>::max())));
+      }
+      break;  // FIFO: head blocks the rest
+    }
+    if (tracer_) {
+      tracer_->record(t, obs::EventKind::GateAllow, node,
+                      static_cast<std::uint8_t>(cfg_.limiter.kind),
+                      static_cast<std::uint16_t>(pm.length),
+                      static_cast<std::uint32_t>(std::min<Cycle>(
+                          req.head_wait,
+                          std::numeric_limits<std::uint32_t>::max())));
+    }
 
     const MsgId id = pool_.allocate();
     Message& m = pool_[id];
@@ -430,6 +487,12 @@ void Simulator::inject_node(NodeId node, Cycle t) {
     queues_[node].pop_front();
     --queue_total_;
     head_since_[node] = t;
+    if (tracer_) {
+      tracer_->record(t, obs::EventKind::QueueDequeue, node, 0,
+                      static_cast<std::uint16_t>(m.length),
+                      static_cast<std::uint32_t>(queues_[node].size()));
+    }
+    if (spatial_) spatial_->on_injected(node);
 
     activate(id);
     start_injection(node, static_cast<unsigned>(ch), id, t);
@@ -491,12 +554,19 @@ void Simulator::absorb_deadlocked(MsgId id, Cycle t) {
   if (timeseries_) timeseries_->on_deadlock(t);
 
   const NodeId absorb_node = net_.link(m.head.link).dst;
+  if (tracer_) {
+    tracer_->record(t, obs::EventKind::DeadlockDetect, absorb_node, 0,
+                    static_cast<std::uint16_t>(m.length), id);
+  }
   VcRef cur = m.head;
   while (cur.valid()) {
     const VcRef up = net_.vc(cur).upstream;
     net_.absorb_drop(cur.link, id);
     net_.vc(cur).pending_route = false;  // lazily dropped from the list
     net_.force_free(cur);
+    if (tracer_) {
+      tracer_->record(t, obs::EventKind::VcRelease, cur.link, cur.vc, 0, id);
+    }
     cur = up;
   }
 
@@ -633,6 +703,13 @@ bool Simulator::check_conservation(std::string* why) const {
                 " flits still in the network");
   }
   return true;
+}
+
+void Simulator::finish_spatial() {
+  if (!spatial_) return;
+  for (LinkId l = 0; l < net_.num_net_links(); ++l) {
+    spatial_->set_link_flits(l, net_.link(l).flits_carried);
+  }
 }
 
 // --- Run protocol -----------------------------------------------------

@@ -43,7 +43,9 @@
 #include "deadlock/detection.hpp"
 #include "deadlock/recovery.hpp"
 #include "metrics/collector.hpp"
+#include "metrics/spatial.hpp"
 #include "metrics/timeseries.hpp"
+#include "obs/tracer.hpp"
 #include "routing/routing.hpp"
 #include "routing/selection.hpp"
 #include "sim/message.hpp"
@@ -172,6 +174,26 @@ class Simulator {
   const metrics::TimeSeries* timeseries() const noexcept {
     return timeseries_.get();
   }
+
+  /// Attach an event tracer (nullptr detaches). Observation only: every
+  /// hook is a branch-on-null, results are bit-identical with or
+  /// without it, and the instrumented-off hot path stays unchanged
+  /// (bench/micro_mechanism --obs-overhead-json gates this).
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+
+  /// Attach per-channel/per-node spatial metrics (nullptr detaches).
+  /// Counters are fed incrementally plus a periodic link-occupancy
+  /// sweep; call `finish_spatial()` after the run to copy the
+  /// cumulative link flit counters in.
+  void set_spatial(metrics::SpatialMetrics* spatial) noexcept {
+    spatial_ = spatial;
+  }
+  metrics::SpatialMetrics* spatial() const noexcept { return spatial_; }
+  /// Copy end-of-run link utilization counters into the attached
+  /// SpatialMetrics (no-op when none is attached).
+  void finish_spatial();
+
   const SimulatorConfig& config() const noexcept { return cfg_; }
 
   SimCore core() const noexcept { return cfg_.core; }
@@ -262,6 +284,8 @@ class Simulator {
   deadlock::RecoveryManager recovery_;
   metrics::Collector collector_;
   std::unique_ptr<metrics::TimeSeries> timeseries_;
+  obs::Tracer* tracer_ = nullptr;            // non-owning; null = off
+  metrics::SpatialMetrics* spatial_ = nullptr;  // non-owning; null = off
 
   MessagePool pool_;
   std::vector<MsgId> active_;

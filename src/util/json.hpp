@@ -1,0 +1,101 @@
+// Minimal JSON emission and parsing for machine-readable telemetry.
+//
+// The writer streams structurally-checked JSON (object/array nesting is
+// tracked, commas are inserted automatically) so exporters cannot emit
+// malformed records. The parser is a strict recursive-descent reader
+// used by tests to validate emitted telemetry/trace files against their
+// schema and by benches to read committed baseline JSON. Neither side
+// aims to be a general-purpose library: no comments, no NaN/Inf (the
+// writer maps them to null), UTF-8 passed through untouched.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wormsim::util {
+
+/// Streaming JSON writer. Usage:
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.field("schema", "wormsim.telemetry/1");
+///   w.key("result"); w.begin_object(); ... w.end_object();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(&out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emit an object key; must be followed by exactly one value.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value_null();
+
+  /// key + value in one call.
+  template <typename T>
+  void field(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// JSON string escaping (quotes not included).
+  static std::string escape(std::string_view s);
+  /// Round-trippable number formatting (shortest form, no locale).
+  static std::string format_double(double v);
+
+ private:
+  void separate();  // comma/newline management before a new element
+
+  std::ostream* out_;
+  // One entry per open container: true while it has no elements yet.
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value (object keys preserve insertion order).
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const noexcept { return kind == Kind::Null; }
+  bool is_bool() const noexcept { return kind == Kind::Bool; }
+  bool is_number() const noexcept { return kind == Kind::Number; }
+  bool is_string() const noexcept { return kind == Kind::String; }
+  bool is_array() const noexcept { return kind == Kind::Array; }
+  bool is_object() const noexcept { return kind == Kind::Object; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+  /// Dotted-path lookup through nested objects, e.g. "perf.cycles_per_second".
+  const JsonValue* at_path(std::string_view dotted) const noexcept;
+};
+
+/// Strict parse of a complete JSON document (trailing whitespace
+/// allowed, trailing garbage is an error). On failure returns nullopt
+/// and, if `error` is non-null, a message with the byte offset.
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace wormsim::util

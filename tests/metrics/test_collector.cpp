@@ -51,6 +51,25 @@ TEST(Collector, DeadlockPctZeroWhenNothingInjected) {
   EXPECT_DOUBLE_EQ(c.finish(2).deadlock_pct, 0.0);
 }
 
+TEST(ProbeStats, ZeroSamplesYieldZeroPercentagesNotNan) {
+  const ProbeStats p;
+  EXPECT_EQ(p.samples, 0u);
+  EXPECT_DOUBLE_EQ(p.pct_a(), 0.0);
+  EXPECT_DOUBLE_EQ(p.pct_b(), 0.0);
+  EXPECT_DOUBLE_EQ(p.pct_either(), 0.0);
+}
+
+TEST(ProbeStats, PercentagesScaleWithSamples) {
+  ProbeStats p;
+  p.samples = 8;
+  p.rule_a = 2;
+  p.rule_b = 4;
+  p.either = 5;
+  EXPECT_DOUBLE_EQ(p.pct_a(), 25.0);
+  EXPECT_DOUBLE_EQ(p.pct_b(), 50.0);
+  EXPECT_DOUBLE_EQ(p.pct_either(), 62.5);
+}
+
 TEST(Collector, ProbePercentages) {
   Collector c(2, 0, 100);
   c.on_probe(1, true, true);

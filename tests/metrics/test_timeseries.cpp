@@ -53,6 +53,37 @@ TEST(TimeSeries, DeadlocksAndQueue) {
   EXPECT_EQ(ts.intervals()[0].queue_total, 42u);
 }
 
+TEST(TimeSeries, ExactBoundaryCyclesOpenTheNextInterval) {
+  TimeSeries ts(100);
+  // A cycle equal to a multiple of the interval belongs to the interval
+  // it *starts*, never the one it ends.
+  ts.on_queue_sample(100, 7);
+  ASSERT_EQ(ts.intervals().size(), 2u);
+  EXPECT_EQ(ts.intervals()[0].queue_total, 0u);
+  EXPECT_EQ(ts.intervals()[1].queue_total, 7u);
+  EXPECT_EQ(ts.intervals()[1].start_cycle, 100u);
+  ts.on_deadlock(199);
+  ts.on_deadlock(200);
+  ASSERT_EQ(ts.intervals().size(), 3u);
+  EXPECT_EQ(ts.intervals()[1].deadlock_detections, 1u);
+  EXPECT_EQ(ts.intervals()[2].deadlock_detections, 1u);
+}
+
+TEST(TimeSeries, OutOfOrderQueueSamplesLandInTheirOwnInterval) {
+  TimeSeries ts(10);
+  ts.on_queue_sample(25, 50);  // creates intervals 0..2
+  // A late-arriving sample for an earlier cycle must update the earlier
+  // interval without disturbing the later one.
+  ts.on_queue_sample(5, 3);
+  ASSERT_EQ(ts.intervals().size(), 3u);
+  EXPECT_EQ(ts.intervals()[0].queue_total, 3u);
+  EXPECT_EQ(ts.intervals()[2].queue_total, 50u);
+  // Within one interval, the newest sample wins (it is a point-in-time
+  // snapshot, not an accumulator).
+  ts.on_queue_sample(26, 60);
+  EXPECT_EQ(ts.intervals()[2].queue_total, 60u);
+}
+
 TEST(TimeSeries, ZeroIntervalClampedToOne) {
   TimeSeries ts(0);
   EXPECT_EQ(ts.interval_cycles(), 1u);

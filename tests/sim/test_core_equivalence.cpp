@@ -14,6 +14,8 @@
 
 #include "config/presets.hpp"
 #include "harness/sweep.hpp"
+#include "metrics/spatial.hpp"
+#include "obs/tracer.hpp"
 #include "sim_test_util.hpp"
 
 namespace wormsim::sim {
@@ -122,6 +124,42 @@ INSTANTIATE_TEST_SUITE_P(Patterns, CoreEquivalence,
                                                static_cast<unsigned char>(c)); });
                            return name;
                          });
+
+/// Observability must observe, never participate: attaching a tracer
+/// and spatial metrics to a run cannot change a single result field on
+/// either core, even with deadlock recovery and limiter state hot.
+TEST(CoreEquivalence, InstrumentationDoesNotPerturbResults) {
+  for (const auto core : {SimCore::Dense, SimCore::Active}) {
+    config::SimConfig base = equivalence_base();
+    base.sim.core = core;
+    base.sim.limiter.kind = core::LimiterKind::ALO;
+    base.workload.offered_flits_per_node_cycle = 1.0;  // past saturation
+
+    const auto plain = config::run_experiment(base);
+
+    obs::Tracer tracer(1u << 12);
+    const topo::KAryNCube topo(base.k, base.n);
+    metrics::SpatialMetrics spatial(
+        topo.num_nodes(), topo.num_nodes() * topo.num_channels(),
+        base.sim.net.num_vcs);
+    config::RunHooks hooks;
+    hooks.tracer = &tracer;
+    hooks.spatial = &spatial;
+    const auto instrumented = config::run_experiment(base, hooks);
+
+    // The hooks saw real traffic...
+    EXPECT_GT(tracer.events_recorded(), 0u);
+    std::uint64_t ejected = 0;
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+      ejected += spatial.node_ejected_flits(n);
+    }
+    EXPECT_GT(ejected, 0u);
+    // ...and the results are exactly what the plain run produced.
+    expect_results_identical(
+        plain, instrumented,
+        "instrumented " + std::string(sim_core_name(core)));
+  }
+}
 
 /// Lock-step microscope: one dense and one active simulator advance a
 /// cycle at a time from identical seeds; their complete channel-level

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Render the bench CSV outputs as standalone SVG figures.
+"""Render the bench CSV/JSONL outputs as standalone SVG figures.
 
 Dependency-free (standard library only) so it runs on bare build boxes.
 
@@ -8,12 +8,31 @@ Usage:
     tools/plot_figures.py fig05.csv -o fig05.svg
     tools/plot_figures.py fig05.csv --y accepted_flits_node_cycle -o thr.svg
 
-The input is the standard sweep CSV (``mechanism,offered_...`` columns,
-'#' comment lines ignored). One line series is drawn per mechanism.
+The default (line) mode reads the standard sweep CSV
+(``mechanism,offered_...`` columns, '#' comment lines ignored) and draws
+one line series per mechanism.
+
+``--heatmap`` reads a spatial CSV produced by ``--spatial-out``
+(``*_channels.csv`` or ``*_nodes.csv``: rows carry grid coordinates) and
+renders a colored x/y grid of ``--value`` (default: ``utilization`` for
+channel tables, ``queue_avg`` for node tables; rows sharing a cell are
+averaged, so the four channels of a node fold into one cell):
+
+    tools/plot_figures.py sat_channels.csv --heatmap -o heat.svg
+    tools/plot_figures.py sat_nodes.csv --heatmap --value queue_max
+
+``--timeline`` reads the JSONL telemetry from ``--metrics-out`` (one
+record per sweep point) and plots any dotted-path field against another,
+one series per mechanism:
+
+    tools/plot_figures.py fig05.jsonl --timeline \
+        --y perf.cycles_per_second -o speed.svg
+    tools/plot_figures.py fig05.jsonl --timeline --y result.latency_p99
 """
 
 import argparse
 import csv
+import json
 import sys
 
 PALETTE = ["#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#a463f2", "#97bbf5"]
@@ -140,20 +159,220 @@ def render_svg(series, xlabel, ylabel, title, logy=False):
     return "\n".join(out)
 
 
+# Five-stop blue→yellow ramp (viridis-like) for heatmap cells.
+HEAT_STOPS = [
+    (0.00, (68, 1, 84)),
+    (0.25, (59, 82, 139)),
+    (0.50, (33, 145, 140)),
+    (0.75, (94, 201, 98)),
+    (1.00, (253, 231, 37)),
+]
+
+
+def heat_color(t):
+    t = min(1.0, max(0.0, t))
+    for (t0, c0), (t1, c1) in zip(HEAT_STOPS, HEAT_STOPS[1:]):
+        if t <= t1:
+            f = 0.0 if t1 == t0 else (t - t0) / (t1 - t0)
+            r, g, b = (round(a + (b_ - a) * f) for a, b_ in zip(c0, c1))
+            return f"rgb({r},{g},{b})"
+    return "rgb(253,231,37)"
+
+
+def render_heatmap(cells, xlabel, ylabel, value_label, title):
+    xs = sorted({x for x, _ in cells})
+    ys = sorted({y for _, y in cells})
+    vals = list(cells.values())
+    v0, v1 = min(vals), max(vals)
+    if v1 == v0:
+        v1 = v0 + 1.0
+
+    cell = 48
+    ml, mt, mr, mb = 70, 50, 110, 55
+    width = ml + cell * len(xs) + mr
+    height = mt + cell * len(ys) + mb
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{ml}" y="24" font-size="14" font-weight="bold">{title}</text>',
+    ]
+    for (x, y), v in sorted(cells.items()):
+        cx = ml + xs.index(x) * cell
+        # y grows upward, matching torus coordinates.
+        cy = mt + (len(ys) - 1 - ys.index(y)) * cell
+        t = (v - v0) / (v1 - v0)
+        out.append(
+            f'<rect x="{cx}" y="{cy}" width="{cell}" height="{cell}" '
+            f'fill="{heat_color(t)}" stroke="white"/>'
+        )
+        text_fill = "white" if t < 0.5 else "black"
+        out.append(
+            f'<text x="{cx + cell / 2}" y="{cy + cell / 2 + 4}" '
+            f'text-anchor="middle" fill="{text_fill}" '
+            f'font-size="10">{v:.3g}</text>'
+        )
+    for i, x in enumerate(xs):
+        out.append(
+            f'<text x="{ml + i * cell + cell / 2}" '
+            f'y="{mt + len(ys) * cell + 16}" text-anchor="middle">{x}</text>'
+        )
+    for j, y in enumerate(ys):
+        out.append(
+            f'<text x="{ml - 8}" '
+            f'y="{mt + (len(ys) - 1 - j) * cell + cell / 2 + 4}" '
+            f'text-anchor="end">{y}</text>'
+        )
+    out.append(
+        f'<text x="{ml + len(xs) * cell / 2}" y="{height - 12}" '
+        f'text-anchor="middle">{xlabel}</text>'
+    )
+    out.append(
+        f'<text x="18" y="{mt + len(ys) * cell / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 18 {mt + len(ys) * cell / 2})">{ylabel}</text>'
+    )
+    # Color bar.
+    bar_x, bar_h = ml + len(xs) * cell + 24, len(ys) * cell
+    for i in range(bar_h):
+        t = 1.0 - i / max(1, bar_h - 1)
+        out.append(
+            f'<rect x="{bar_x}" y="{mt + i}" width="14" height="1.5" '
+            f'fill="{heat_color(t)}"/>'
+        )
+    out.append(f'<text x="{bar_x + 20}" y="{mt + 8}">{v1:.3g}</text>')
+    out.append(f'<text x="{bar_x + 20}" y="{mt + bar_h}">{v0:.3g}</text>')
+    out.append(
+        f'<text x="{bar_x}" y="{mt - 8}" font-size="11">{value_label}</text>'
+    )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def json_at_path(obj, dotted):
+    for part in dotted.split("."):
+        if not isinstance(obj, dict) or part not in obj:
+            return None
+        obj = obj[part]
+    return obj
+
+
+def read_telemetry(path):
+    """Point records of a --metrics-out JSONL telemetry file."""
+    records = []
+    with open(path) as f:
+        for i, line in enumerate(f, 1):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise SystemExit(f"{path}:{i}: invalid JSON: {e}")
+            if rec.get("kind") == "point":
+                records.append(rec)
+    if not records:
+        raise SystemExit(f"{path}: no telemetry point records")
+    return records
+
+
+def run_heatmap(args):
+    header, rows = read_rows(args.input)
+    # Channel tables carry grid coordinates as src_x/src_y, node tables
+    # as x/y; fall through to whichever pair the file has.
+    if args.x == "x" and "x" not in header and "src_x" in header:
+        args.x, args.y = "src_x", "src_y"
+    value = args.value
+    if value is None:
+        value = "utilization" if "utilization" in header else "queue_avg"
+    for col in (args.x, args.y, value):
+        if col not in header:
+            raise SystemExit(f"column {col!r} not in CSV header {header}")
+    sums, counts = {}, {}
+    for row in rows:
+        try:
+            key = (int(row[args.x]), int(row[args.y]))
+            v = float(row[value])
+        except ValueError:
+            continue
+        sums[key] = sums.get(key, 0.0) + v
+        counts[key] = counts.get(key, 0) + 1
+    if not sums:
+        raise SystemExit("nothing to plot")
+    cells = {k: sums[k] / counts[k] for k in sums}
+    return render_heatmap(cells, args.x, args.y, value,
+                          args.title or f"{args.input}: {value}")
+
+
+def run_timeline(args):
+    records = read_telemetry(args.input)
+    x_key = args.x if args.x is not None else "offered"
+    y_key = args.y if args.y is not None else "perf.cycles_per_second"
+    series = {}
+    for rec in records:
+        x = json_at_path(rec, x_key)
+        y = json_at_path(rec, y_key)
+        if not isinstance(x, (int, float)) or not isinstance(y, (int, float)):
+            continue
+        key = json_at_path(rec, args.series) or "data"
+        series.setdefault(str(key), []).append((float(x), float(y)))
+    if not series:
+        raise SystemExit(f"no numeric ({x_key}, {y_key}) pairs in telemetry")
+    return render_svg(series, x_key, y_key,
+                      args.title or f"{args.input}: {y_key}", args.logy)
+
+
 def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("csv", help="sweep CSV from a bench binary")
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("input", metavar="csv",
+                    help="sweep CSV, spatial CSV (--heatmap) or "
+                         "telemetry JSONL (--timeline)")
     ap.add_argument("-o", "--output", default=None, help="output SVG path")
-    ap.add_argument("--x", default="offered_flits_node_cycle")
-    ap.add_argument("--y", default="latency_avg_cycles")
+    ap.add_argument("--x", default=None,
+                    help="x column / dotted JSON path "
+                         "(default: offered_flits_node_cycle, heatmap: x, "
+                         "timeline: offered)")
+    ap.add_argument("--y", default=None,
+                    help="y column / dotted JSON path "
+                         "(default: latency_avg_cycles, heatmap: y, "
+                         "timeline: perf.cycles_per_second)")
     ap.add_argument("--series", default="mechanism",
-                    help="column naming the series (omit if absent)")
+                    help="column/path naming the series (omit if absent)")
     ap.add_argument("--logy", action="store_true",
                     help="log-scale y (useful for latency blow-ups)")
     ap.add_argument("--title", default=None)
+    mode = ap.add_mutually_exclusive_group()
+    mode.add_argument("--heatmap", action="store_true",
+                      help="render a spatial CSV as an x/y grid")
+    mode.add_argument("--timeline", action="store_true",
+                      help="plot telemetry JSONL records")
+    ap.add_argument("--value", default=None,
+                    help="heatmap cell value column (default: utilization "
+                         "or queue_avg)")
     args = ap.parse_args()
 
-    header, rows = read_rows(args.csv)
+    if args.heatmap:
+        if args.x is None:
+            args.x = "x"
+        if args.y is None:
+            args.y = "y"
+        svg = run_heatmap(args)
+    elif args.timeline:
+        svg = run_timeline(args)
+    else:
+        if args.x is None:
+            args.x = "offered_flits_node_cycle"
+        if args.y is None:
+            args.y = "latency_avg_cycles"
+        svg = line_mode(args)
+    out = args.output or args.input.rsplit(".", 1)[0] + ".svg"
+    with open(out, "w") as f:
+        f.write(svg)
+    print(f"wrote {out}", file=sys.stderr)
+
+
+def line_mode(args):
+    header, rows = read_rows(args.input)
     if args.x not in header or args.y not in header:
         raise SystemExit(
             f"columns {args.x!r}/{args.y!r} not in CSV header {header}")
@@ -166,12 +385,8 @@ def main():
         key = row.get(args.series, "data") if args.series in header else "data"
         series.setdefault(key, []).append((x, y))
 
-    svg = render_svg(series, args.x, args.y,
-                     args.title or f"{args.csv}: {args.y}", args.logy)
-    out = args.output or args.csv.rsplit(".", 1)[0] + ".svg"
-    with open(out, "w") as f:
-        f.write(svg)
-    print(f"wrote {out}", file=sys.stderr)
+    return render_svg(series, args.x, args.y,
+                      args.title or f"{args.input}: {args.y}", args.logy)
 
 
 if __name__ == "__main__":
