@@ -7,6 +7,7 @@
 set -u
 cd "$(dirname "$0")"
 mkdir -p bench_telemetry
+status=0
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   name=$(basename "$b")
@@ -16,9 +17,20 @@ for b in build/bench/*; do
       # Standard sweep benches: collect per-point JSONL telemetry.
       "$b" --metrics-out "bench_telemetry/$name.jsonl"
       ;;
+    micro_mechanism)
+      # Google-benchmark suite, then the gated JSON modes. Each JSON is
+      # re-validated against its embedded criteria block so a perf
+      # regression fails the whole run, not just one loop iteration.
+      "$b"
+      "$b" --hotpath-json bench_telemetry/hotpath.json || status=1
+      "$b" --obs-overhead-json bench_telemetry/obs_overhead.json || status=1
+      python3 tools/check_bench.py bench_telemetry/hotpath.json \
+        bench_telemetry/obs_overhead.json || status=1
+      ;;
     *)
       # Custom-loop and google-benchmark binaries: no sweep telemetry.
       "$b"
       ;;
   esac
 done
+exit "$status"

@@ -36,6 +36,17 @@ AloConditions evaluate_alo(const ChannelStatus& status, NodeId node,
 AloConditions evaluate_alo_routed(const ChannelStatus& status, NodeId node,
                                   const routing::RouteResult& route);
 
+/// Row-based twins of the two evaluators for the devirtualized cycle
+/// loop: `free_row[c]` holds the free-VC mask of physical channel c of
+/// one node, laid out contiguously (sim::Network::free_mask_row). They
+/// return bit-identical conditions to their ChannelStatus counterparts
+/// (asserted by tests/core/test_alo.cpp property cases).
+AloConditions evaluate_alo_row(const std::uint8_t* free_row, unsigned num_vcs,
+                               std::uint32_t useful_phys_mask);
+AloConditions evaluate_alo_routed_row(const std::uint8_t* free_row,
+                                      unsigned num_vcs,
+                                      const routing::RouteResult& route);
+
 class AloLimiter final : public InjectionLimiter {
  public:
   bool allow(const InjectionRequest& req, const ChannelStatus& status) override;

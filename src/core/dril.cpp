@@ -25,11 +25,32 @@ unsigned DrilLimiter::busy_total(const ChannelStatus& status, NodeId node) {
   return busy;
 }
 
+unsigned DrilLimiter::busy_total_row(const std::uint8_t* free_row,
+                                     unsigned num_phys, unsigned num_vcs) {
+  unsigned busy = 0;
+  for (unsigned c = 0; c < num_phys; ++c) {
+    busy += num_vcs - static_cast<unsigned>(std::popcount(
+                          static_cast<std::uint32_t>(free_row[c])));
+  }
+  return busy;
+}
+
 bool DrilLimiter::allow(const InjectionRequest& req,
                         const ChannelStatus& status) {
+  return allow_with_busy(req, busy_total(status, req.node),
+                         status.num_phys_channels() * status.num_vcs());
+}
+
+bool DrilLimiter::allow_row(const InjectionRequest& req,
+                            const std::uint8_t* free_row, unsigned num_phys,
+                            unsigned num_vcs) {
+  return allow_with_busy(req, busy_total_row(free_row, num_phys, num_vcs),
+                         num_phys * num_vcs);
+}
+
+bool DrilLimiter::allow_with_busy(const InjectionRequest& req, unsigned busy,
+                                  unsigned total_vcs) {
   NodeState& st = state_[req.node];
-  const unsigned total_vcs = status.num_phys_channels() * status.num_vcs();
-  const unsigned busy = busy_total(status, req.node);
 
   if (!st.frozen) {
     if (req.head_wait > detect_wait_) {

@@ -27,18 +27,6 @@ std::string_view limiter_name(LimiterKind kind) {
   return "unknown";
 }
 
-namespace {
-
-class NoLimiter final : public InjectionLimiter {
- public:
-  bool allow(const InjectionRequest&, const ChannelStatus&) override {
-    return true;
-  }
-  LimiterKind kind() const noexcept override { return LimiterKind::None; }
-};
-
-}  // namespace
-
 std::unique_ptr<InjectionLimiter> make_limiter(const LimiterConfig& cfg,
                                                NodeId num_nodes) {
   switch (cfg.kind) {

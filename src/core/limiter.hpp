@@ -81,6 +81,18 @@ class InjectionLimiter {
   virtual LimiterKind kind() const noexcept = 0;
 };
 
+/// The "no restriction" baseline. Public (not factory-internal) so the
+/// simulator's dispatch resolution can recognize it by type — kind()
+/// cannot discriminate shipped limiters from user subclasses that reuse
+/// a LimiterKind tag (see examples/custom_limiter.cpp).
+class NoLimiter final : public InjectionLimiter {
+ public:
+  bool allow(const InjectionRequest&, const ChannelStatus&) override {
+    return true;
+  }
+  LimiterKind kind() const noexcept override { return LimiterKind::None; }
+};
+
 struct LimiterConfig {
   LimiterKind kind = LimiterKind::None;
   /// LF: inject iff busy_useful_vcs <= floor(lf_alpha * useful_vcs).

@@ -28,13 +28,35 @@ LinearFunctionLimiter::Counts LinearFunctionLimiter::count_useful(
   return counts;
 }
 
-bool LinearFunctionLimiter::allow(const InjectionRequest& req,
-                                  const ChannelStatus& status) {
-  const Counts counts = count_useful(status, req.node, *req.route);
+LinearFunctionLimiter::Counts LinearFunctionLimiter::count_useful_row(
+    const std::uint8_t* free_row, unsigned num_vcs,
+    std::uint32_t useful_phys_mask) {
+  Counts counts;
+  for (std::uint32_t m = useful_phys_mask; m != 0; m &= m - 1) {
+    const std::uint32_t free = free_row[std::countr_zero(m)];
+    counts.total += num_vcs;
+    counts.busy += num_vcs - static_cast<unsigned>(std::popcount(free));
+  }
+  return counts;
+}
+
+bool LinearFunctionLimiter::decide(const Counts& counts) const {
   if (counts.total == 0) return true;  // no useful channels: vacuous
   const auto threshold =
       static_cast<unsigned>(std::floor(alpha_ * counts.total));
   return counts.busy <= threshold;
+}
+
+bool LinearFunctionLimiter::allow(const InjectionRequest& req,
+                                  const ChannelStatus& status) {
+  return decide(count_useful(status, req.node, *req.route));
+}
+
+bool LinearFunctionLimiter::allow_row(const InjectionRequest& req,
+                                      const std::uint8_t* free_row,
+                                      unsigned num_vcs) const {
+  return decide(
+      count_useful_row(free_row, num_vcs, req.route->useful_phys_mask));
 }
 
 }  // namespace wormsim::core

@@ -69,6 +69,7 @@ void emit_perf(util::JsonWriter& w, const metrics::SimResult& r) {
   w.field("scan_skip_ratio", r.scan_skip_ratio);
   w.field("avg_active_links", r.avg_active_links);
   w.field("avg_active_nodes", r.avg_active_nodes);
+  w.field("route_memo_hit_rate", r.route_memo_hit_rate);
   w.end_object();
 }
 

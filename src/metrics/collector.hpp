@@ -91,6 +91,7 @@ struct SimResult {
   double scan_skip_ratio = 0.0;   // fraction of dense scan slots skipped
   double avg_active_links = 0.0;  // mean occupied network links / cycle
   double avg_active_nodes = 0.0;  // mean active-set nodes / cycle (active core)
+  double route_memo_hit_rate = 0.0;  // blocked-header re-routes avoided
 };
 
 /// Streaming collector the simulator feeds; produces a SimResult.

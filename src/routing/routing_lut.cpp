@@ -1,0 +1,78 @@
+#include "routing/routing_lut.hpp"
+
+namespace wormsim::routing {
+
+using topo::ChannelId;
+using topo::NodeId;
+
+RoutingLut::RoutingLut(const RoutingFunction& fn, const topo::KAryNCube& topo,
+                       std::size_t max_entries)
+    : fn_(&fn),
+      algo_(fn.algorithm()),
+      num_vcs_(fn.num_vcs()),
+      nodes_(topo.num_nodes()) {
+  const std::size_t pairs =
+      static_cast<std::size_t>(nodes_) * static_cast<std::size_t>(nodes_);
+  if (pairs > max_entries) return;  // passthrough mode
+
+  entries_.resize(pairs);
+  RouteResult r;
+  for (NodeId here = 0; here < nodes_; ++here) {
+    for (NodeId dst = 0; dst < nodes_; ++dst) {
+      if (here == dst) continue;  // route() precondition: here != dst
+      fn.route(here, dst, r);
+      Entry& e = entries_[static_cast<std::size_t>(here) * nodes_ + dst];
+      e.useful = static_cast<std::uint16_t>(r.useful_phys_mask);
+      switch (algo_) {
+        case Algorithm::TFAR:
+          break;  // fully determined by the useful mask
+        case Algorithm::DOR: {
+          const Candidate& c = r.candidates[0];
+          e.det_channel = c.channel;
+          e.det_class = c.vc_mask == 0b1u ? 0 : 1;
+          break;
+        }
+        case Algorithm::Duato: {
+          const Candidate& esc = r.candidates[r.candidates.size() - 1];
+          e.det_channel = esc.channel;
+          e.det_class = esc.vc_mask == 0b01u ? 0 : 1;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void RoutingLut::expand(const Entry& e, RouteResult& out) const {
+  out.clear();
+  const std::uint32_t mask = e.useful;
+  out.useful_phys_mask = mask;
+  const std::uint32_t all_vcs = (1u << num_vcs_) - 1u;
+  switch (algo_) {
+    case Algorithm::TFAR: {
+      for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+        const auto c = static_cast<ChannelId>(
+            __builtin_ctz(m));  // ascending channel order
+        out.candidates.push_back({c, all_vcs, /*escape=*/false});
+      }
+      break;
+    }
+    case Algorithm::DOR: {
+      const std::uint32_t vcs = e.det_class == 0 ? 0b1u : (all_vcs & ~0b1u);
+      out.candidates.push_back({e.det_channel, vcs, /*escape=*/false});
+      break;
+    }
+    case Algorithm::Duato: {
+      const std::uint32_t adaptive = all_vcs & ~0b11u;
+      for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+        const auto c = static_cast<ChannelId>(__builtin_ctz(m));
+        out.candidates.push_back({c, adaptive, /*escape=*/false});
+      }
+      const std::uint32_t esc_vcs = e.det_class == 0 ? 0b01u : 0b10u;
+      out.candidates.push_back({e.det_channel, esc_vcs, /*escape=*/true});
+      break;
+    }
+  }
+}
+
+}  // namespace wormsim::routing

@@ -1,0 +1,82 @@
+// Precomputed routing lookup table.
+//
+// All shipped routing functions are *static*: the candidate list and the
+// useful-physical-channel mask depend only on (here, dst), never on
+// channel status. That makes the whole routing function tabulable at
+// network-construction time. The table stores one compact 4-byte entry
+// per (here, dst) pair — the useful mask plus the deterministic
+// dimension-order hop (channel + dateline class) — and re-expands it
+// into the exact RouteResult the wrapped function would have produced,
+// in the same candidate order:
+//
+//   * TFAR  — one candidate per set bit of the useful mask, ascending
+//             channel order, all VCs usable.
+//   * DOR   — the single stored deterministic hop with its dateline
+//             class mask.
+//   * Duato — adaptive candidates as TFAR (VCs 2..V-1), then the stored
+//             deterministic hop as the escape candidate (VC 0 or 1 by
+//             dateline class).
+//
+// Networks too large to tabulate (> max_entries (here, dst) pairs) fall
+// back to calling the wrapped function — route() is then a passthrough,
+// so callers never need to care. A status-dependent routing function
+// added in the future must NOT be wrapped in a RoutingLut (or must use
+// the passthrough mode); the blocked-header route memo in the simulator
+// makes the same staticness assumption.
+//
+// tests/routing/test_routing_lut.cpp asserts LUT/on-the-fly equality
+// exhaustively over small cubes and randomly over larger ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/routing.hpp"
+
+namespace wormsim::routing {
+
+class RoutingLut {
+ public:
+  /// Default tabulation budget: 4M entries = 16 MiB, i.e. up to a
+  /// 2048-node network. The paper's 8-ary 3-cube (512 nodes) needs
+  /// 256K entries / 1 MiB.
+  static constexpr std::size_t kMaxEntries = std::size_t{1} << 22;
+
+  /// `fn` must outlive the LUT. `max_entries` below nodes^2 selects the
+  /// passthrough mode (exposed for tests; production callers use the
+  /// default).
+  RoutingLut(const RoutingFunction& fn, const topo::KAryNCube& topo,
+             std::size_t max_entries = kMaxEntries);
+
+  /// False when the network exceeded the tabulation budget and route()
+  /// forwards to the wrapped function.
+  bool tabulated() const noexcept { return !entries_.empty(); }
+
+  /// Bit-identical replacement for fn.route(here, dst, out).
+  void route(topo::NodeId here, topo::NodeId dst, RouteResult& out) const {
+    if (entries_.empty()) {
+      fn_->route(here, dst, out);
+      return;
+    }
+    expand(entries_[static_cast<std::size_t>(here) * nodes_ + dst], out);
+  }
+
+  Algorithm algorithm() const noexcept { return algo_; }
+
+ private:
+  struct Entry {
+    std::uint16_t useful = 0;      // useful physical channel mask
+    std::uint8_t det_channel = 0;  // DOR hop channel (DOR/Duato escape)
+    std::uint8_t det_class = 0;    // its dateline VC class (0 or 1)
+  };
+
+  void expand(const Entry& e, RouteResult& out) const;
+
+  const RoutingFunction* fn_;
+  Algorithm algo_;
+  unsigned num_vcs_;
+  topo::NodeId nodes_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace wormsim::routing

@@ -35,10 +35,26 @@ std::uint8_t lowest_vc(std::uint32_t mask) {
   return static_cast<std::uint8_t>(std::countr_zero(mask));
 }
 
+// The two availability sources — the virtual FreeVcView and the
+// contiguous SoA row — feed one selection template so the policies
+// cannot drift apart.
+struct VirtView {
+  const FreeVcView* view;
+  std::uint32_t free_vc_mask(topo::ChannelId c) const {
+    return view->free_vc_mask(c);
+  }
+};
+
+struct RowView {
+  const std::uint8_t* row;
+  std::uint32_t free_vc_mask(topo::ChannelId c) const { return row[c]; }
+};
+
 /// Scan candidates in [begin, end) with the given policy; all candidates
 /// in the range have the same escape flag.
+template <typename View>
 std::optional<Pick> select_range(const RouteResult& route, std::size_t begin,
-                                 std::size_t end, const FreeVcView& view,
+                                 std::size_t end, View view,
                                  SelectionPolicy policy,
                                  std::uint32_t rr_state) {
   const std::size_t count = end - begin;
@@ -84,11 +100,10 @@ std::optional<Pick> select_range(const RouteResult& route, std::size_t begin,
   return std::nullopt;
 }
 
-}  // namespace
-
-std::optional<Pick> Selector::select(const RouteResult& route,
-                                     const FreeVcView& view,
-                                     std::uint32_t rr_state) const {
+template <typename View>
+std::optional<Pick> select_impl(const RouteResult& route, View view,
+                                SelectionPolicy policy,
+                                std::uint32_t rr_state) {
   // Candidates are ordered adaptive-first by the routing functions; find
   // the adaptive/escape boundary.
   std::size_t escape_begin = route.candidates.size();
@@ -99,11 +114,25 @@ std::optional<Pick> Selector::select(const RouteResult& route,
     }
   }
   if (auto pick =
-          select_range(route, 0, escape_begin, view, policy_, rr_state)) {
+          select_range(route, 0, escape_begin, view, policy, rr_state)) {
     return pick;
   }
   return select_range(route, escape_begin, route.candidates.size(), view,
-                      policy_, rr_state);
+                      policy, rr_state);
+}
+
+}  // namespace
+
+std::optional<Pick> Selector::select(const RouteResult& route,
+                                     const FreeVcView& view,
+                                     std::uint32_t rr_state) const {
+  return select_impl(route, VirtView{&view}, policy_, rr_state);
+}
+
+std::optional<Pick> Selector::select(const RouteResult& route,
+                                     const std::uint8_t* free_row,
+                                     std::uint32_t rr_state) const {
+  return select_impl(route, RowView{free_row}, policy_, rr_state);
 }
 
 }  // namespace wormsim::routing

@@ -49,6 +49,15 @@ class Selector {
   std::optional<Pick> select(const RouteResult& route, const FreeVcView& view,
                              std::uint32_t rr_state) const;
 
+  /// Devirtualized overload for the cycle-loop hot path: `free_row[c]`
+  /// holds free_vc_mask(c) for every physical channel of one router,
+  /// laid out contiguously (sim::Network::free_mask_row). Bit-identical
+  /// decisions to the virtual-view overload — both instantiate the same
+  /// selection template.
+  std::optional<Pick> select(const RouteResult& route,
+                             const std::uint8_t* free_row,
+                             std::uint32_t rr_state) const;
+
   SelectionPolicy policy() const noexcept { return policy_; }
 
  private:

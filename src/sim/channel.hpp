@@ -19,6 +19,11 @@ namespace wormsim::sim {
 struct VcState {
   MsgId msg = kNoMsg;
 
+  /// Length of the tenant message in flits, mirrored here at tenancy
+  /// creation (start of injection / VC allocation) so the per-cycle
+  /// streaming loops need no Message-pool lookup for tail detection.
+  std::uint32_t msg_length = 0;
+
   /// Flits of the tenant that have entered / left this buffer. The flit
   /// at the head of the buffer has message-relative index `out_count`;
   /// the buffer currently holds `in_count - out_count` flits; the header

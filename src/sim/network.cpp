@@ -28,6 +28,9 @@ Network::Network(const topo::KAryNCube& topo, const NetworkParams& params)
   links_.resize(num_net_links_ + num_inj_links_);
   vcs_.resize(net_vc_count_ + num_inj_links_);
   eject_.resize(static_cast<std::size_t>(nodes) * params.eje_channels);
+  free_mask_.assign(num_net_links_,
+                    static_cast<std::uint8_t>((1u << params.num_vcs) - 1u));
+  link_epoch_.assign(num_net_links_, 0);
   tenant_links_.reset(num_net_links_);
   arrival_links_.reset(num_net_links_);
 
@@ -47,10 +50,10 @@ Network::Network(const topo::KAryNCube& topo, const NetworkParams& params)
 }
 
 std::uint32_t Network::free_vc_mask(NodeId node, ChannelId c) const {
-  const Link& l = links_[net_link(node, c)];
-  // A VC is free iff unallocated; tenancy implies the active bit.
-  return static_cast<std::uint32_t>(~l.active_vc_mask) &
-         ((1u << params_.num_vcs) - 1u);
+  // A VC is free iff unallocated; tenancy implies the active bit. The
+  // SoA mirror is kept equal to ~active_vc_mask & vc_field by
+  // set_active, the sole writer of active_vc_mask.
+  return free_mask_[net_link(node, c)];
 }
 
 int Network::find_free_eject_port(NodeId node) const noexcept {
@@ -61,8 +64,9 @@ int Network::find_free_eject_port(NodeId node) const noexcept {
 }
 
 int Network::find_free_inj_channel(NodeId node) const noexcept {
+  const VcState* row = inj_vc_row(node);
   for (unsigned i = 0; i < params_.inj_channels; ++i) {
-    if (vc({inj_link(node, i), 0}).free()) return static_cast<int>(i);
+    if (row[i].free()) return static_cast<int>(i);
   }
   return -1;
 }
@@ -86,22 +90,6 @@ std::uint64_t Network::flits_in_network() const noexcept {
   return total;
 }
 
-void Network::set_active(VcRef ref, bool active) noexcept {
-  Link& l = links_[ref.link];
-  if (active) {
-    l.active_vc_mask |= static_cast<std::uint8_t>(1u << ref.vc);
-  } else {
-    l.active_vc_mask &= static_cast<std::uint8_t>(~(1u << ref.vc));
-  }
-  if (ref.link < num_net_links_) {
-    if (l.active_vc_mask != 0) {
-      tenant_links_.insert(ref.link);
-    } else {
-      tenant_links_.erase(ref.link);
-    }
-  }
-}
-
 void Network::allocate_out_vc(VcRef from, VcRef out, MsgId msg,
                               Cycle now) noexcept {
   VcState& upstream = vc(from);
@@ -109,6 +97,7 @@ void Network::allocate_out_vc(VcRef from, VcRef out, MsgId msg,
   assert(downstream.free() && downstream.occupancy == 0);
   downstream.clear();
   downstream.msg = msg;
+  downstream.msg_length = upstream.msg_length;  // propagate down the worm
   downstream.upstream = from;
   downstream.last_activity = now;  // fresh tenancy counts as activity
   upstream.out_kind = VcState::OutKind::Vc;
@@ -125,33 +114,6 @@ void Network::bind_eject(VcRef from, NodeId node, unsigned port,
   p.src = from;
   upstream.out_kind = VcState::OutKind::Eject;
   upstream.eject_port = static_cast<std::uint8_t>(port);
-}
-
-bool Network::transmit_flit(VcRef from, std::uint32_t msg_length,
-                            Cycle now) noexcept {
-  VcState& u = vc(from);
-  assert(u.buffered() > 0 && u.out_kind == VcState::OutKind::Vc);
-  VcState& d = vc(u.out);
-  assert(d.occupancy < params_.buf_flits);
-
-  Link& out_link = links_[u.out.link];
-  out_link.in_flight.push(now + params_.link_delay, u.out.vc, u.msg);
-  arrival_links_.insert(u.out.link);
-  ++out_link.flits_carried;
-  ++d.occupancy;
-  ++u.out_count;
-  --u.occupancy;
-  u.last_activity = now;
-
-  if (u.out_count == msg_length) {
-    // Tail left: free this VC; downstream will receive no more flits
-    // from it.
-    d.upstream = VcRef{};
-    set_active(from, false);
-    u.clear();
-    return true;
-  }
-  return false;
 }
 
 unsigned Network::absorb_drop(LinkId link, MsgId msg) noexcept {

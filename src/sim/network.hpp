@@ -3,6 +3,7 @@
 // limiters consume. All control flow lives in Simulator.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -53,6 +54,12 @@ class Network final : public core::ChannelStatus {
   Link& link(LinkId id) noexcept { return links_[id]; }
   const Link& link(LinkId id) const noexcept { return links_[id]; }
 
+  /// Dense [0, num_vc_slots()) index of a VC (net-link VCs first, then
+  /// one slot per injection link) — key for per-VC side tables like the
+  /// simulator's route memo.
+  std::size_t vc_flat_index(VcRef ref) const noexcept { return vc_index(ref); }
+  std::size_t num_vc_slots() const noexcept { return vcs_.size(); }
+
   VcState& vc(VcRef ref) noexcept { return vcs_[vc_index(ref)]; }
   const VcState& vc(VcRef ref) const noexcept { return vcs_[vc_index(ref)]; }
 
@@ -68,6 +75,49 @@ class Network final : public core::ChannelStatus {
   unsigned num_phys_channels() const override { return topo_->num_channels(); }
   unsigned num_vcs() const override { return params_.num_vcs; }
   std::uint32_t free_vc_mask(NodeId node, ChannelId c) const override;
+
+  /// SoA view of the free-VC masks: one byte per network link, rows of
+  /// num_phys_channels() bytes per node (net_link layout). free_row[c]
+  /// == free_vc_mask(node, c). Lets the cycle loop evaluate selection
+  /// and the ALO/LF/DRIL rules without virtual ChannelStatus reads.
+  const std::uint8_t* free_mask_row(NodeId node) const noexcept {
+    return free_mask_.data() +
+           static_cast<std::size_t>(node) * topo_->num_channels();
+  }
+
+  /// Monotonic per-network-link change counter: bumped on every
+  /// set_active touching the link, i.e. whenever its free-VC mask may
+  /// have changed. Equal epoch (and thus equal epoch sums over a set of
+  /// links) guarantees the masks are unchanged — the invalidation key
+  /// for the simulator's blocked-header route memo.
+  std::uint64_t link_epoch(LinkId link) const noexcept {
+    return link_epoch_[link];
+  }
+
+  /// Epoch row of one node's output links (num_phys_channels() entries,
+  /// net_link layout): row[c] == link_epoch(net_link(node, c)).
+  const std::uint64_t* link_epoch_row(NodeId node) const noexcept {
+    return link_epoch_.data() +
+           static_cast<std::size_t>(node) * topo_->num_channels();
+  }
+
+  /// Contiguous VcState row of one *network* link (vcs_on(link) slots).
+  VcState* vc_row(LinkId link) noexcept {
+    assert(link < num_net_links_);
+    return vcs_.data() + static_cast<std::size_t>(link) * params_.num_vcs;
+  }
+
+  /// Contiguous VcState row of one node's injection-channel VCs
+  /// (params.inj_channels slots — injection links are laid out per node
+  /// after all network-link VCs).
+  VcState* inj_vc_row(NodeId node) noexcept {
+    return vcs_.data() + net_vc_count_ +
+           static_cast<std::size_t>(node) * params_.inj_channels;
+  }
+  const VcState* inj_vc_row(NodeId node) const noexcept {
+    return vcs_.data() + net_vc_count_ +
+           static_cast<std::size_t>(node) * params_.inj_channels;
+  }
 
   /// Index of a free ejection port at `node`, or -1.
   int find_free_eject_port(NodeId node) const noexcept;
@@ -89,17 +139,48 @@ class Network final : public core::ChannelStatus {
   void bind_eject(VcRef from, NodeId node, unsigned port, MsgId msg) noexcept;
   /// Move one flit out of `from` along its allocated output. The caller
   /// has checked transmissibility. Returns true if the tail left `from`
-  /// (the VC was freed).
-  bool transmit_flit(VcRef from, std::uint32_t msg_length, Cycle now) noexcept;
+  /// (the VC was freed). Defined inline: this is the single hottest
+  /// Network mutator in the saturated regime.
+  bool transmit_flit(VcRef from, std::uint32_t msg_length,
+                     Cycle now) noexcept {
+    VcState& u = vc(from);
+    assert(u.buffered() > 0 && u.out_kind == VcState::OutKind::Vc);
+    VcState& d = vc(u.out);
+    assert(d.occupancy < params_.buf_flits);
+
+    Link& out_link = links_[u.out.link];
+    out_link.in_flight.push(now + params_.link_delay, u.out.vc, u.msg);
+    arrival_links_.insert(u.out.link);
+    ++out_link.flits_carried;
+    ++d.occupancy;
+    ++u.out_count;
+    --u.occupancy;
+    u.last_activity = now;
+
+    if (u.out_count == msg_length) {
+      // Tail left: free this VC; downstream will receive no more flits
+      // from it.
+      d.upstream = VcRef{};
+      set_active(from, false);
+      u.clear();
+      return true;
+    }
+    return false;
+  }
   /// Deliver arrived in-flight flits for `link` up to cycle `now`,
   /// invoking `on_header(VcRef)` for each header flit that enters an
   /// empty buffer (so the simulator can enroll it for routing).
   template <typename OnNewHeader>
   void process_arrivals(LinkId link_id, Cycle now, OnNewHeader&& on_header) {
+    // Only network links have in-flight pipelines (injection writes
+    // buffers directly), so the VC row lookup can be hoisted.
+    assert(link_id < num_net_links_);
     Link& l = links_[link_id];
+    VcState* const row =
+        vcs_.data() + static_cast<std::size_t>(link_id) * params_.num_vcs;
     while (!l.in_flight.empty() && l.in_flight.front().arrival <= now) {
       const auto entry = l.in_flight.front();
-      VcState& v = vc({link_id, entry.vc});
+      VcState& v = row[entry.vc];
       assert(v.msg == entry.msg);
       if (v.in_count == 0) {
         v.header_arrival = now;
@@ -120,8 +201,29 @@ class Network final : public core::ChannelStatus {
   /// keeping the pending-arrival set coherent. Returns flits removed.
   unsigned absorb_drop(LinkId link, MsgId msg) noexcept;
 
-  /// Mark/unmark tenancy in the link's active mask.
-  void set_active(VcRef ref, bool active) noexcept;
+  /// Mark/unmark tenancy in the link's active mask. The SOLE writer of
+  /// active_vc_mask, which is what keeps the SoA free-mask mirror and
+  /// the per-link epochs coherent. Inline: called on every tenancy
+  /// transition.
+  void set_active(VcRef ref, bool active) noexcept {
+    Link& l = links_[ref.link];
+    if (active) {
+      l.active_vc_mask |= static_cast<std::uint8_t>(1u << ref.vc);
+    } else {
+      l.active_vc_mask &= static_cast<std::uint8_t>(~(1u << ref.vc));
+    }
+    if (ref.link < num_net_links_) {
+      free_mask_[ref.link] =
+          static_cast<std::uint8_t>(~l.active_vc_mask) &
+          static_cast<std::uint8_t>((1u << params_.num_vcs) - 1u);
+      ++link_epoch_[ref.link];
+      if (l.active_vc_mask != 0) {
+        tenant_links_.insert(ref.link);
+      } else {
+        tenant_links_.erase(ref.link);
+      }
+    }
+  }
 
   // --- Active sets ------------------------------------------------------
   // Maintained unconditionally (transitions are O(1)); the active-set
@@ -155,6 +257,11 @@ class Network final : public core::ChannelStatus {
   std::vector<Link> links_;
   std::vector<VcState> vcs_;
   std::vector<EjectPort> eject_;
+
+  // SoA mirrors for the cycle-loop fast path, maintained by set_active
+  // (the sole writer of active_vc_mask). Net links only.
+  std::vector<std::uint8_t> free_mask_;    // ~active_vc_mask & vc_field
+  std::vector<std::uint64_t> link_epoch_;  // bumped per set_active
 
   util::ActiveSet tenant_links_;   // net links with active_vc_mask != 0
   util::ActiveSet arrival_links_;  // net links with non-empty in_flight

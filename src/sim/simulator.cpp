@@ -9,6 +9,8 @@
 #include <string>
 
 #include "core/alo.hpp"
+#include "core/dril.hpp"
+#include "core/linear_function.hpp"
 
 namespace wormsim::sim {
 
@@ -52,6 +54,41 @@ Simulator::Simulator(const topo::KAryNCube& topo, const SimulatorConfig& cfg,
       gen_where_(topo_.num_nodes(), GenSub::None) {
   if (cfg.routing_delay < 1 || cfg.routing_delay > 8) {
     throw std::invalid_argument("routing_delay must be in [1, 8]");
+  }
+  // Fast paths are an active-core property: the dense core stays the
+  // reference virtual-dispatch implementation so that the byte-identity
+  // tests double as a differential check of these optimizations.
+  const bool active = cfg_.core == SimCore::Active;
+  if (active && cfg_.fastpath.routing_lut) {
+    lut_ = std::make_unique<routing::RoutingLut>(*routing_, topo_);
+  }
+  memo_on_ = active && cfg_.fastpath.route_memo;
+  if (memo_on_) route_memo_.resize(net_.num_vc_slots());
+  static_dispatch_on_ = active && cfg_.fastpath.static_dispatch;
+  resolve_limiter_dispatch();
+  // Per-slot owning router node (the link's dst): a contiguous 4-byte
+  // lookup in phase_route instead of a Link record load.
+  vc_node_.resize(net_.num_vc_slots());
+  for (LinkId l = 0; l < net_.num_links(); ++l) {
+    const NodeId dst = net_.link(l).dst;
+    for (unsigned vc = 0; vc < net_.vcs_on(l); ++vc) {
+      vc_node_[net_.vc_flat_index({l, static_cast<std::uint8_t>(vc)})] = dst;
+    }
+  }
+}
+
+void Simulator::resolve_limiter_dispatch() {
+  core::InjectionLimiter* l = limiter_.get();
+  if (dynamic_cast<core::NoLimiter*>(l) != nullptr) {
+    limiter_fast_ = LimiterFast::None;
+  } else if (dynamic_cast<core::AloLimiter*>(l) != nullptr) {
+    limiter_fast_ = LimiterFast::Alo;
+  } else if (dynamic_cast<core::LinearFunctionLimiter*>(l) != nullptr) {
+    limiter_fast_ = LimiterFast::Lf;
+  } else if (dynamic_cast<core::DrilLimiter*>(l) != nullptr) {
+    limiter_fast_ = LimiterFast::Dril;
+  } else {
+    limiter_fast_ = LimiterFast::Virtual;  // user-supplied mechanism
   }
 }
 
@@ -198,7 +235,8 @@ void Simulator::enroll_for_routing(VcRef ref) {
   VcState& v = net_.vc(ref);
   if (!v.pending_route) {
     v.pending_route = true;
-    pending_route_.push_back(ref);
+    pending_route_.push_back(
+        {ref, v.msg, static_cast<std::uint32_t>(net_.vc_flat_index(ref))});
   }
 }
 
@@ -256,8 +294,28 @@ void Simulator::phase_eject(Cycle t) {
 // --- Routing ----------------------------------------------------------
 
 void Simulator::phase_route(Cycle t) {
+  const Cycle routing_delay = cfg_.routing_delay;
+  const bool detect_on = cfg_.detection.enabled;
+  const Cycle threshold = cfg_.detection.threshold;
   for (std::size_t i = 0; i < pending_route_.size();) {
-    const VcRef ref = pending_route_[i];
+    const PendingRoute e = pending_route_[i];
+    // Parked-entry check: if the enrollment snapshot still matches the
+    // memo's tenancy key, this header already blocked; an equal epoch
+    // sum proves every candidate mask is unchanged (still blocked) and
+    // a detection bound in the future proves the FC3D guards cannot
+    // pass either — the whole visit is a no-op, decided without
+    // touching the VcState or Message record.
+    if (memo_on_) {
+      const RouteMemo& pm = route_memo_[e.slot];
+      if (pm.msg == e.msg && t < pm.no_detect_before &&
+          candidate_epoch_sum(vc_node_[e.slot], pm.cand_mask) ==
+              pm.epoch_sum) {
+        ++scan_.route_memo_hits;
+        ++i;
+        continue;
+      }
+    }
+    const VcRef ref = e.ref;
     VcState& v = net_.vc(ref);
     if (!v.pending_route) {
       // Stale entry (the worm was absorbed by deadlock recovery).
@@ -265,34 +323,74 @@ void Simulator::phase_route(Cycle t) {
       pending_route_.pop_back();
       continue;
     }
-    if (t < v.header_arrival + cfg_.routing_delay) {
+    if (t < v.header_arrival + routing_delay) {
       ++i;
       continue;
     }
-    Message& m = pool_[v.msg];
-    const NodeId node = net_.link(ref.link).dst;
+    const std::size_t slot = e.slot;
+    const NodeId node = vc_node_[slot];
 
-    if (node == m.dst) {
-      m.at_destination = true;
-      const int port = net_.find_free_eject_port(node);
-      if (port < 0) {
-        ++i;
-        continue;  // wait for an ejection channel
+    // Route lookup. The memo slot caches this VC's candidate list — a
+    // pure function of (node, dst), node being fixed per slot, so an
+    // entry even survives across tenancies and is keyed by dst alone.
+    // When additionally no candidate link's free-VC mask changed since
+    // the last failed selection (equal epoch sum), the header is
+    // provably still blocked and selection is skipped as well. The
+    // tenancy key memo->msg marks a header already observed blocked in
+    // transit this tenancy: its retries touch neither the Message
+    // record nor the destination check (both settled on first sight).
+    RouteMemo* memo = nullptr;
+    const routing::RouteResult* route = &route_buf_;
+    std::uint64_t epoch_sum = 0;
+    bool still_blocked = false;
+    if (memo_on_ && route_memo_[slot].msg == v.msg) {
+      memo = &route_memo_[slot];
+      ++scan_.route_memo_hits;
+      route = &memo->route;
+      epoch_sum = candidate_epoch_sum(node, memo->cand_mask);
+      still_blocked = epoch_sum == memo->epoch_sum;
+    } else {
+      Message& m = pool_[v.msg];
+      if (node == m.dst) {
+        m.at_destination = true;
+        const int port = net_.find_free_eject_port(node);
+        if (port < 0) {
+          ++i;
+          continue;  // wait for an ejection channel
+        }
+        net_.bind_eject(ref, node, static_cast<unsigned>(port), v.msg);
+        eject_nodes_.insert(node);
+        m.last_progress = t;
+        v.pending_route = false;
+        pending_route_[i] = pending_route_.back();
+        pending_route_.pop_back();
+        continue;
       }
-      net_.bind_eject(ref, node, static_cast<unsigned>(port), v.msg);
-      eject_nodes_.insert(node);
-      m.last_progress = t;
-      v.pending_route = false;
-      pending_route_[i] = pending_route_.back();
-      pending_route_.pop_back();
-      continue;
+      if (memo_on_) {
+        memo = &route_memo_[slot];
+        if (memo->dst == m.dst) {
+          ++scan_.route_memo_hits;
+        } else {
+          route_at(node, m.dst, memo->route);
+          memo->dst = m.dst;
+          memo->epoch_sum = kNoEpoch;
+          memo->cand_mask = candidate_channel_mask(memo->route);
+        }
+        route = &memo->route;
+        epoch_sum = candidate_epoch_sum(node, memo->cand_mask);
+        still_blocked = epoch_sum == memo->epoch_sum;
+      } else {
+        route_at(node, m.dst, route_buf_);
+      }
     }
-
-    routing_->route(node, m.dst, route_buf_);
     if (probe_enabled_ && !v.probed) {
       v.probed = true;
       const auto cond =
-          core::evaluate_alo(net_, node, route_buf_.useful_phys_mask);
+          static_dispatch_on_
+              ? core::evaluate_alo_row(net_.free_mask_row(node),
+                                       net_.params().num_vcs,
+                                       route->useful_phys_mask)
+              : core::evaluate_alo(net_, node, route->useful_phys_mask);
       collector_.on_probe(t, cond.all_useful_partially_free,
                           cond.any_useful_completely_free);
       if (tracer_) {
@@ -302,23 +400,55 @@ void Simulator::phase_route(Cycle t) {
         tracer_->record(t, obs::EventKind::AloProbe, node, rules);
       }
     }
-    const NodeFreeVcView view(net_, node);
-    const auto pick = selector_.select(route_buf_, view, alloc_rr_[node]);
+    std::optional<routing::Pick> pick;
+    if (!still_blocked) {
+      if (static_dispatch_on_) {
+        pick = selector_.select(*route, net_.free_mask_row(node),
+                                alloc_rr_[node]);
+      } else {
+        const NodeFreeVcView view(net_, node);
+        pick = selector_.select(*route, view, alloc_rr_[node]);
+      }
+    }
     if (!pick) {
+      if (memo != nullptr) {
+        if (!still_blocked) memo->epoch_sum = epoch_sum;
+        if (memo->msg != v.msg) {
+          memo->msg = v.msg;      // tenancy key; cleared on success/absorb
+          memo->no_detect_before = 0;  // prior tenancy's bound is void
+        }
+      }
       // Blocked. FC3D-style deadlock presumption: the header has waited
       // at least `threshold` cycles, no flit of the message has moved,
       // and every virtual channel the routing function offers has shown
       // no flow-control activity for `threshold` cycles either — i.e.
       // the messages holding them are frozen too. Headers still inside
       // an injection channel hold no network resources and are exempt.
-      if (cfg_.detection.enabled && !net_.is_injection(ref.link) &&
-          t - v.header_arrival >= cfg_.detection.threshold &&
-          t - m.last_progress >= cfg_.detection.threshold &&
-          requested_channels_frozen(node, t)) {
-        absorb_deadlocked(v.msg, t);
-        pending_route_[i] = pending_route_.back();
-        pending_route_.pop_back();
-        continue;
+      // Every failed guard yields a monotone lower bound on the first
+      // cycle detection could succeed (kForever for exempt headers);
+      // the memo skips re-evaluation — and, with an unchanged epoch
+      // sum, the whole visit — until that bound.
+      if (!detect_on || net_.is_injection(ref.link)) {
+        if (memo != nullptr) memo->no_detect_before = kForever;
+      } else if (t - v.header_arrival < threshold) {
+        if (memo != nullptr) {
+          memo->no_detect_before = v.header_arrival + threshold;
+        }
+      } else if (memo == nullptr || t >= memo->no_detect_before) {
+        const Message& m = pool_[v.msg];
+        Cycle earliest = 0;
+        if (t - m.last_progress < threshold) {
+          if (memo != nullptr) {
+            memo->no_detect_before = m.last_progress + threshold;
+          }
+        } else if (requested_channels_frozen(node, t, *route, &earliest)) {
+          absorb_deadlocked(v.msg, t);
+          pending_route_[i] = pending_route_.back();
+          pending_route_.pop_back();
+          continue;
+        } else if (memo != nullptr) {
+          memo->no_detect_before = earliest;
+        }
       }
       ++i;
       continue;  // retry next cycle
@@ -326,9 +456,11 @@ void Simulator::phase_route(Cycle t) {
     ++alloc_rr_[node];
     const VcRef out{net_.net_link(node, pick->channel), pick->vc};
     net_.allocate_out_vc(ref, out, v.msg, t);
+    if (memo != nullptr) memo->msg = kNoMsg;
     if (tracer_) {
       tracer_->record(t, obs::EventKind::VcAlloc, out.link, out.vc, 0, v.msg);
     }
+    Message& m = pool_[v.msg];
     m.head = out;
     m.entered_network = true;
     m.last_progress = t;
@@ -340,46 +472,48 @@ void Simulator::phase_route(Cycle t) {
 
 // --- Transmission -----------------------------------------------------
 
-void Simulator::transmit_link(LinkId l, Cycle t) {
-  const unsigned vcs = net_.params().num_vcs;
-  const unsigned cap = net_.params().buf_flits;
+void Simulator::transmit_link(LinkId l, Cycle t, unsigned vcs, unsigned cap) {
   Link& link = net_.link(l);
   if (link.active_vc_mask == 0) return;
   // Round-robin across this physical channel's allocated VCs: pick the
   // first whose upstream buffer has a flit and whose own buffer has
-  // room.
-  for (unsigned j = 0; j < vcs; ++j) {
-    const auto vcn = static_cast<std::uint8_t>((link.rr_next + j) % vcs);
+  // room. rr_next stays in [0, vcs), so the rotation is an
+  // increment-with-wrap instead of a modulo.
+  VcState* const row = net_.vc_row(l);
+  std::uint8_t vcn = link.rr_next;
+  for (unsigned j = 0; j < vcs; ++j, vcn = vcn + 1u == vcs ? 0 : vcn + 1u) {
     if (!(link.active_vc_mask & (1u << vcn))) continue;
-    const VcRef ref{l, vcn};
-    VcState& w = net_.vc(ref);
+    [[maybe_unused]] const VcRef ref{l, vcn};
+    VcState& w = row[vcn];
     if (w.occupancy >= cap) continue;
     if (!w.upstream.valid()) continue;
     VcState& u = net_.vc(w.upstream);
     if (u.buffered() == 0) continue;
     assert(u.out_kind == VcState::OutKind::Vc && u.out == ref);
-    Message& m = pool_[w.msg];
     const VcRef up = w.upstream;  // transmit may clear it when the tail leaves
-    const bool freed = net_.transmit_flit(up, m.length, t);
+    const bool freed = net_.transmit_flit(up, w.msg_length, t);
     if (freed && tracer_) {
       tracer_->record(t, obs::EventKind::VcRelease, up.link, up.vc, 0, w.msg);
     }
-    m.last_progress = t;
-    link.rr_next = static_cast<std::uint8_t>((vcn + 1) % vcs);
+    pool_[w.msg].last_progress = t;
+    link.rr_next = vcn + 1u == vcs ? 0 : static_cast<std::uint8_t>(vcn + 1u);
     break;  // one flit per physical link per cycle
   }
 }
 
 void Simulator::phase_transmit(Cycle t) {
+  const unsigned vcs = net_.params().num_vcs;
+  const unsigned cap = net_.params().buf_flits;
   if (cfg_.core == SimCore::Dense) {
     const LinkId n = net_.num_net_links();
     scan_.scan_visited += n;
-    for (LinkId l = 0; l < n; ++l) transmit_link(l, t);
+    for (LinkId l = 0; l < n; ++l) transmit_link(l, t, vcs, cap);
     return;
   }
   scan_.scan_visited += net_.tenant_links().size();
-  net_.tenant_links().for_each(
-      [&](std::size_t l) { transmit_link(static_cast<LinkId>(l), t); });
+  net_.tenant_links().for_each([&](std::size_t l) {
+    transmit_link(static_cast<LinkId>(l), t, vcs, cap);
+  });
 }
 
 // --- Injection --------------------------------------------------------
@@ -391,6 +525,7 @@ void Simulator::start_injection(NodeId node, unsigned inj_channel, MsgId id,
   assert(v.free());
   v.clear();
   v.msg = id;
+  v.msg_length = pool_[id].length;
   v.in_count = 1;  // the header flit is written immediately
   v.occupancy = 1;
   v.header_arrival = t;
@@ -415,15 +550,14 @@ void Simulator::inject_node(NodeId node, Cycle t) {
 
   // 1. Stream body flits of messages already owning an injection
   //    channel (one flit per channel per cycle, space permitting).
+  VcState* const inj_row = net_.inj_vc_row(node);
   for (unsigned i = 0; i < inj; ++i) {
-    const VcRef ref{net_.inj_link(node, i), 0};
-    VcState& v = net_.vc(ref);
+    VcState& v = inj_row[i];
     if (v.free()) continue;
-    Message& m = pool_[v.msg];
-    if (v.in_count < m.length && v.occupancy < cap) {
+    if (v.in_count < v.msg_length && v.occupancy < cap) {
       ++v.in_count;
       ++v.occupancy;
-      m.last_progress = t;
+      pool_[v.msg].last_progress = t;
     }
   }
 
@@ -448,7 +582,6 @@ void Simulator::inject_node(NodeId node, Cycle t) {
     if (queues_[node].empty()) break;
     const PendingMessage& pm = queues_[node].front();
 
-    routing_->route(node, pm.dst, route_buf_);
     core::InjectionRequest req;
     req.node = node;
     req.dst = pm.dst;
@@ -457,7 +590,41 @@ void Simulator::inject_node(NodeId node, Cycle t) {
     req.cycle = t;
     req.head_wait = t - head_since_[node];
     req.queue_len = queues_[node].size();
-    if (!limiter_->allow(req, net_)) {
+    // Gate decision. With static dispatch the limiter resolved to its
+    // concrete type once per simulator: None and DRIL never read the
+    // route, so the routing step is skipped entirely; ALO and LF route
+    // through the LUT and evaluate on the contiguous free-mask row.
+    // Custom limiters (LimiterFast::Virtual) take the interface path.
+    bool allowed;
+    if (static_dispatch_on_ && limiter_fast_ != LimiterFast::Virtual) {
+      const std::uint8_t* row = net_.free_mask_row(node);
+      const unsigned vcs = net_.params().num_vcs;
+      switch (limiter_fast_) {
+        case LimiterFast::None:
+          allowed = true;
+          break;
+        case LimiterFast::Alo:
+          route_at(node, pm.dst, route_buf_);
+          allowed = core::evaluate_alo_routed_row(row, vcs, route_buf_).allow();
+          break;
+        case LimiterFast::Lf:
+          route_at(node, pm.dst, route_buf_);
+          allowed = static_cast<core::LinearFunctionLimiter*>(limiter_.get())
+                        ->allow_row(req, row, vcs);
+          break;
+        case LimiterFast::Dril:
+          allowed = static_cast<core::DrilLimiter*>(limiter_.get())
+                        ->allow_row(req, row, topo_.num_channels(), vcs);
+          break;
+        case LimiterFast::Virtual:
+          allowed = false;  // unreachable: guarded above
+          break;
+      }
+    } else {
+      route_at(node, pm.dst, route_buf_);
+      allowed = limiter_->allow(req, net_);
+    }
+    if (!allowed) {
       if (tracer_) {
         tracer_->record(t, obs::EventKind::GateBlock, node,
                         static_cast<std::uint8_t>(cfg_.limiter.kind),
@@ -518,9 +685,10 @@ void Simulator::phase_inject(Cycle t) {
     // queued, nothing awaiting recovery re-injection. Any future event
     // (queue push, recovery enqueue) re-inserts the node.
     if (queues_[node].empty() && recovery_.pending(node) == 0) {
+      const VcState* const inj_row = net_.inj_vc_row(node);
       bool any_occupied = false;
       for (unsigned i = 0; i < inj; ++i) {
-        any_occupied |= !net_.vc({net_.inj_link(node, i), 0}).free();
+        any_occupied |= !inj_row[i].free();
       }
       if (!any_occupied) inject_nodes_.erase(node);
     }
@@ -529,9 +697,11 @@ void Simulator::phase_inject(Cycle t) {
 
 // --- Deadlock handling ------------------------------------------------
 
-bool Simulator::requested_channels_frozen(NodeId node, Cycle t) const {
+bool Simulator::requested_channels_frozen(
+    NodeId node, Cycle t, const routing::RouteResult& route,
+    Cycle* earliest) const {
   const Cycle threshold = cfg_.detection.threshold;
-  for (const auto& cand : route_buf_.candidates) {
+  for (const auto& cand : route.candidates) {
     const LinkId out_link = net_.net_link(node, cand.channel);
     std::uint32_t vcs = cand.vc_mask;
     while (vcs) {
@@ -540,7 +710,10 @@ bool Simulator::requested_channels_frozen(NodeId node, Cycle t) const {
       const VcState& w = net_.vc({out_link, v});
       // A free VC here would have made allocation succeed; a busy one
       // with recent flit movement means the holder is alive.
-      if (t - w.last_activity < threshold) return false;
+      if (t - w.last_activity < threshold) {
+        *earliest = w.last_activity + threshold;
+        return false;
+      }
     }
   }
   return true;
@@ -554,6 +727,8 @@ void Simulator::absorb_deadlocked(MsgId id, Cycle t) {
   if (timeseries_) timeseries_->on_deadlock(t);
 
   const NodeId absorb_node = net_.link(m.head.link).dst;
+  // The header's slot carried this tenancy's blocked-memo key; end it.
+  if (memo_on_) route_memo_[net_.vc_flat_index(m.head)].msg = kNoMsg;
   if (tracer_) {
     tracer_->record(t, obs::EventKind::DeadlockDetect, absorb_node, 0,
                     static_cast<std::uint16_t>(m.length), id);
@@ -761,6 +936,7 @@ metrics::SimResult Simulator::run(const RunProtocol& protocol) {
   r.scan_skip_ratio = window.skipped_scan_ratio();
   r.avg_active_links = window.avg_active_links();
   r.avg_active_nodes = window.avg_active_nodes();
+  r.route_memo_hit_rate = window.route_memo_hit_rate();
   return r;
 }
 

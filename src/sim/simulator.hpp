@@ -32,6 +32,7 @@
 // tests/sim/test_core_equivalence.cpp enforces byte-identical results.
 #pragma once
 
+#include <bit>
 #include <deque>
 #include <memory>
 #include <queue>
@@ -47,6 +48,7 @@
 #include "metrics/timeseries.hpp"
 #include "obs/tracer.hpp"
 #include "routing/routing.hpp"
+#include "routing/routing_lut.hpp"
 #include "routing/selection.hpp"
 #include "sim/message.hpp"
 #include "sim/network.hpp"
@@ -61,6 +63,26 @@ enum class SimCore : std::uint8_t { Dense, Active };
 SimCore parse_sim_core(std::string_view name);
 std::string_view sim_core_name(SimCore core) noexcept;
 
+/// Saturated-regime fast-path toggles. They apply to the Active core
+/// only — the Dense core always runs the reference virtual-dispatch
+/// path, which is what makes test_core_equivalence a differential test
+/// of the optimizations. Results are bit-identical for every toggle
+/// combination; the switches exist for that test and for perf triage.
+struct FastPathConfig {
+  /// Tabulate the routing function per (node, dst) at construction and
+  /// answer cycle-loop route queries from the table.
+  bool routing_lut = true;
+  /// Blocked headers cache their candidate list and skip both re-route
+  /// and re-selection until the free-VC mask of some candidate link
+  /// changes (per-link epoch counters).
+  bool route_memo = true;
+  /// Resolve the injection-limiter and selection dispatch once per
+  /// simulator instead of per virtual call inside the cycle loop.
+  /// Custom limiters installed via set_limiter() fall back to the
+  /// virtual path automatically.
+  bool static_dispatch = true;
+};
+
 struct SimulatorConfig {
   NetworkParams net{};
   routing::Algorithm algorithm = routing::Algorithm::TFAR;
@@ -70,6 +92,7 @@ struct SimulatorConfig {
   deadlock::DetectionConfig detection{};
   deadlock::RecoveryConfig recovery{};
   SimCore core = SimCore::Active;
+  FastPathConfig fastpath{};
   std::uint64_t seed = 1;
 };
 
@@ -84,6 +107,8 @@ struct CoreScanStats {
   std::uint64_t scan_total = 0;        // entries a dense scan would execute
   std::uint64_t active_links_sum = 0;  // tenant links, summed per cycle
   std::uint64_t active_nodes_sum = 0;  // injection-active nodes, per cycle
+  std::uint64_t route_evals = 0;       // routing-function/LUT evaluations
+  std::uint64_t route_memo_hits = 0;   // blocked-header re-routes avoided
 
   /// Fraction of dense scan work skipped (0 for the dense core).
   double skipped_scan_ratio() const noexcept {
@@ -101,6 +126,14 @@ struct CoreScanStats {
                         static_cast<double>(cycles)
                   : 0.0;
   }
+  /// Fraction of route queries answered by the blocked-header memo
+  /// (0 when the memo is off or nothing ever blocked).
+  double route_memo_hit_rate() const noexcept {
+    const std::uint64_t asked = route_evals + route_memo_hits;
+    return asked ? static_cast<double>(route_memo_hits) /
+                       static_cast<double>(asked)
+                 : 0.0;
+  }
   /// Counter deltas since `earlier` (per-run windows inside one
   /// simulator lifetime).
   CoreScanStats since(const CoreScanStats& earlier) const noexcept {
@@ -110,6 +143,8 @@ struct CoreScanStats {
     d.scan_total = scan_total - earlier.scan_total;
     d.active_links_sum = active_links_sum - earlier.active_links_sum;
     d.active_nodes_sum = active_nodes_sum - earlier.active_nodes_sum;
+    d.route_evals = route_evals - earlier.route_evals;
+    d.route_memo_hits = route_memo_hits - earlier.route_memo_hits;
     return d;
   }
 };
@@ -159,7 +194,9 @@ class Simulator {
   /// one (the extension seam for out-of-tree mechanisms); null is
   /// ignored. Takes effect from the next cycle.
   void set_limiter(std::unique_ptr<core::InjectionLimiter> limiter) {
-    if (limiter) limiter_ = std::move(limiter);
+    if (!limiter) return;
+    limiter_ = std::move(limiter);
+    resolve_limiter_dispatch();
   }
   traffic::Workload* workload() noexcept { return workload_.get(); }
   const metrics::Collector& collector() const noexcept { return collector_; }
@@ -247,7 +284,9 @@ class Simulator {
   // Per-element phase bodies shared by both cores (the cores differ
   // only in which elements they visit).
   void eject_node(NodeId node, Cycle t);
-  void transmit_link(LinkId l, Cycle t);
+  /// `vcs`/`cap` are the network's num_vcs and buf_flits, hoisted by
+  /// phase_transmit so the per-link call avoids the parameter loads.
+  void transmit_link(LinkId l, Cycle t, unsigned vcs, unsigned cap);
   void inject_node(NodeId node, Cycle t);
 
   /// Source-queue push shared by push_message and phase_generate:
@@ -263,9 +302,55 @@ class Simulator {
   void poll_and_reschedule(NodeId node, Cycle t);
 
   /// FC3D condition: every VC the routing function offered has shown no
-  /// flow-control activity for the detection threshold. Reads the
-  /// candidates currently in route_buf_.
-  bool requested_channels_frozen(NodeId node, Cycle t) const;
+  /// flow-control activity for the detection threshold. On failure,
+  /// `*earliest` is set to the first future cycle at which the witness
+  /// VC's inactivity could reach the threshold — a lower bound on when
+  /// detection could fire (last_activity is monotone), which the route
+  /// memo caches to skip re-evaluation until then.
+  bool requested_channels_frozen(NodeId node, Cycle t,
+                                 const routing::RouteResult& route,
+                                 Cycle* earliest) const;
+
+  /// Route query shared by both cores: LUT when tabulated, virtual
+  /// routing function otherwise. Counts into scan_.route_evals.
+  void route_at(NodeId node, NodeId dst, routing::RouteResult& out) {
+    ++scan_.route_evals;
+    if (lut_) {
+      lut_->route(node, dst, out);
+    } else {
+      routing_->route(node, dst, out);
+    }
+  }
+
+  /// Sum of the free-mask epochs of every candidate output link of
+  /// `route` at `node`. Epochs are monotone, so an equal sum means no
+  /// candidate's free-VC mask changed — the route-memo freshness key.
+  /// Sum of the epoch counters of `node`'s output links selected by the
+  /// candidate-channel bitmask (each distinct link counted once). The
+  /// mask form keeps the hot re-check loop on one small integer instead
+  /// of walking candidate records.
+  std::uint64_t candidate_epoch_sum(NodeId node,
+                                    std::uint32_t cand_mask) const {
+    const std::uint64_t* row = net_.link_epoch_row(node);
+    std::uint64_t sum = 0;
+    for (std::uint32_t m = cand_mask; m != 0; m &= m - 1) {
+      sum += row[std::countr_zero(m)];
+    }
+    return sum;
+  }
+
+  /// Union of a route's candidate physical channels as a bitmask.
+  static std::uint32_t candidate_channel_mask(
+      const routing::RouteResult& route) {
+    std::uint32_t mask = 0;
+    for (const auto& cand : route.candidates) mask |= 1u << cand.channel;
+    return mask;
+  }
+
+  /// Map the installed limiter to its enum-tagged fast-dispatch case
+  /// (by concrete type, not kind() — user subclasses may reuse a kind
+  /// tag) and recompute which fast paths are enabled.
+  void resolve_limiter_dispatch();
 
   void enroll_for_routing(VcRef ref);
   void start_injection(NodeId node, unsigned inj_channel, MsgId id, Cycle t);
@@ -280,6 +365,9 @@ class Simulator {
   std::unique_ptr<routing::RoutingFunction> routing_;
   routing::Selector selector_;
   std::unique_ptr<core::InjectionLimiter> limiter_;
+  /// Tabulated routing (active core with fastpath.routing_lut; null
+  /// otherwise — route_at falls back to the virtual function).
+  std::unique_ptr<routing::RoutingLut> lut_;
   std::unique_ptr<traffic::Workload> workload_;
   deadlock::RecoveryManager recovery_;
   metrics::Collector collector_;
@@ -294,9 +382,62 @@ class Simulator {
   std::vector<Cycle> head_since_;     // cycle the current queue head became head
   std::vector<std::uint32_t> alloc_rr_;  // per-node selector rotation
 
-  std::vector<VcRef> pending_route_;
+  /// Route-pending work item. `msg` and `slot` are enrollment-time
+  /// snapshots: `slot` saves the flat-index recompute each visit, and
+  /// `msg` lets the scan prove an entry unchanged-and-still-blocked
+  /// from the route memo alone, without loading its VcState. A stale
+  /// snapshot (the tenancy ended) simply fails the memo key comparison
+  /// and takes the full path, which detects and drops the entry.
+  struct PendingRoute {
+    VcRef ref;
+    MsgId msg = kNoMsg;
+    std::uint32_t slot = 0;
+  };
+  std::vector<PendingRoute> pending_route_;
   routing::RouteResult route_buf_;
   util::SmallVector<traffic::GeneratedMessage, 8> gen_buf_;
+
+  // --- Saturated-regime fast path (active core only) -------------------
+  /// Per-VC-slot route memo for blocked headers. The cached route is a
+  /// pure function of (node, dst) — node is fixed per slot — so an
+  /// entry stays valid across tenancies; `dst` is the lookup key.
+  /// `epoch_sum` snapshots candidate_epoch_sum at the last failed
+  /// selection: while it is unchanged the header is still blocked and
+  /// both the route and the selection are skipped.
+  static constexpr std::uint64_t kNoEpoch = ~std::uint64_t{0};
+  struct RouteMemo {
+    /// Tenancy key: set when this slot's header blocks, cleared when
+    /// the tenancy ends (successful allocation or absorption). While it
+    /// matches the slot's VcState::msg, the header is a known
+    /// blocked-in-transit retry and the Message record and eject check
+    /// are skipped entirely.
+    MsgId msg = kNoMsg;
+    /// Route key: the cached candidates are valid for any tenancy with
+    /// this destination (routing is a pure function of (node, dst)).
+    NodeId dst = topo::kInvalidNode;
+    /// Union of route.candidates channels, the epoch-sum footprint.
+    std::uint32_t cand_mask = 0;
+    /// candidate_epoch_sum at the last failed selection; equal sum ⇒
+    /// no candidate mask changed ⇒ provably still blocked.
+    std::uint64_t epoch_sum = kNoEpoch;
+    /// Earliest cycle FC3D detection could fire for this tenancy: the
+    /// last failed guard (message progress or witness-VC activity plus
+    /// threshold). Both sources are monotone, so skipping evaluation
+    /// until then is exact, not heuristic. Reset on tenancy change.
+    Cycle no_detect_before = 0;
+    routing::RouteResult route;
+  };
+  std::vector<RouteMemo> route_memo_;  // empty when the memo is off
+  /// Router node owning each VC slot's output side (the link's dst),
+  /// indexed like route_memo_ — replaces a Link load in phase_route.
+  std::vector<NodeId> vc_node_;
+
+  /// Enum-tagged limiter dispatch for the cycle loop; Virtual = run the
+  /// InjectionLimiter interface (custom limiters, or dispatch off).
+  enum class LimiterFast : std::uint8_t { Virtual, None, Alo, Lf, Dril };
+  LimiterFast limiter_fast_ = LimiterFast::Virtual;
+  bool memo_on_ = false;            // active core && fastpath.route_memo
+  bool static_dispatch_on_ = false; // active core && fastpath.static_dispatch
 
   // --- Active-set state (maintained in both cores where the cost is
   // O(1) per transition; consumed only by the active core) -------------

@@ -168,6 +168,51 @@ TEST(AloRouted, IdleEscapeVcsDoNotMaskCongestion) {
   EXPECT_TRUE(evaluate_alo_routed(status, 0, route).allow());
 }
 
+/// Property: the row-based evaluators (the devirtualized cycle-loop
+/// path) agree with the ChannelStatus evaluators on random status
+/// registers and random routes — both rules, not just the final allow.
+TEST(AloRowTwin, MatchesChannelStatusEvaluatorsOnRandomState) {
+  constexpr unsigned kChannels = 6;
+  constexpr unsigned kVcs = 3;
+  FakeStatus status(1, kChannels, kVcs);
+  util::Rng rng(0xA10);
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::uint8_t row[kChannels];
+    for (unsigned c = 0; c < kChannels; ++c) {
+      const auto mask = static_cast<std::uint32_t>(rng.below(1u << kVcs));
+      status.set_free(0, static_cast<ChannelId>(c), mask);
+      row[c] = static_cast<std::uint8_t>(mask);
+    }
+    // Unmasked form over a random useful set (zero included: vacuous).
+    const auto useful = static_cast<std::uint32_t>(rng.below(1u << kChannels));
+    const AloConditions v = evaluate_alo(status, 0, useful);
+    const AloConditions r = evaluate_alo_row(row, kVcs, useful);
+    ASSERT_EQ(v.all_useful_partially_free, r.all_useful_partially_free)
+        << "iter " << iter << " useful " << useful;
+    ASSERT_EQ(v.any_useful_completely_free, r.any_useful_completely_free)
+        << "iter " << iter << " useful " << useful;
+
+    // Routed form over a random candidate set with random VC masks and
+    // an optional trailing escape candidate (the Duato shape).
+    routing::RouteResult route;
+    const unsigned cands = 1 + static_cast<unsigned>(rng.below(kChannels));
+    for (unsigned i = 0; i < cands; ++i) {
+      const auto vc_mask =
+          static_cast<std::uint32_t>(rng.between(1, (1u << kVcs) - 1));
+      const bool escape = (i == cands - 1) && rng.bernoulli(0.5);
+      route.candidates.push_back(
+          {static_cast<ChannelId>(i), vc_mask, escape});
+      route.useful_phys_mask |= 1u << i;
+    }
+    const AloConditions vr = evaluate_alo_routed(status, 0, route);
+    const AloConditions rr = evaluate_alo_routed_row(row, kVcs, route);
+    ASSERT_EQ(vr.all_useful_partially_free, rr.all_useful_partially_free)
+        << "iter " << iter;
+    ASSERT_EQ(vr.any_useful_completely_free, rr.any_useful_completely_free)
+        << "iter " << iter;
+  }
+}
+
 TEST(AloUniformExample, PaperSixChannelScenario) {
   // Paper §3: with uniform traffic in a k-ary 3-cube a message may use
   // all 6 physical channels; rule (a) needs >= 6 free VCs spread one per

@@ -1,0 +1,133 @@
+// RoutingLut must be a drop-in for the routing function it wraps: for
+// every (here, dst) pair the expanded RouteResult — candidate order,
+// per-candidate VC masks, escape flags and the useful-channel mask —
+// equals what fn.route() computes on the fly. The simulator relies on
+// this equality for bit-identical sweep CSVs when fastpath.routing_lut
+// toggles, so the comparison here is exact, not structural.
+#include "routing/routing_lut.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "routing/routing.hpp"
+
+namespace wormsim::routing {
+namespace {
+
+using topo::KAryNCube;
+using topo::NodeId;
+
+void expect_routes_equal(const RouteResult& expect, const RouteResult& got,
+                         NodeId here, NodeId dst, const char* label) {
+  SCOPED_TRACE(::testing::Message() << label << " " << here << "->" << dst);
+  ASSERT_EQ(expect.candidates.size(), got.candidates.size());
+  for (std::size_t i = 0; i < expect.candidates.size(); ++i) {
+    EXPECT_EQ(expect.candidates[i].channel, got.candidates[i].channel)
+        << "candidate " << i;
+    EXPECT_EQ(expect.candidates[i].vc_mask, got.candidates[i].vc_mask)
+        << "candidate " << i;
+    EXPECT_EQ(expect.candidates[i].escape, got.candidates[i].escape)
+        << "candidate " << i;
+  }
+  EXPECT_EQ(expect.useful_phys_mask, got.useful_phys_mask);
+}
+
+/// The shipped algorithms crossed with the torus shapes whose routing
+/// differs structurally: k = 2 (the degenerate wrap where +d and -d
+/// reach the same neighbor), odd k (no antipodal tie, asymmetric
+/// halves), even k > 2, and dimensions 1..3.
+class RoutingLutEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<Algorithm, unsigned /*k*/, unsigned /*n*/>> {};
+
+TEST_P(RoutingLutEquivalence, MatchesOnTheFlyRouteExhaustively) {
+  const auto [algo, k, n] = GetParam();
+  const KAryNCube topo(k, n);
+  const unsigned num_vcs = 3;  // minimum every algorithm accepts
+  const auto fn = make_routing(algo, topo, num_vcs);
+  const RoutingLut lut(*fn, topo);
+  ASSERT_TRUE(lut.tabulated());
+  EXPECT_EQ(lut.algorithm(), algo);
+
+  RouteResult expect, got;
+  for (NodeId here = 0; here < topo.num_nodes(); ++here) {
+    for (NodeId dst = 0; dst < topo.num_nodes(); ++dst) {
+      if (here == dst) continue;
+      fn->route(here, dst, expect);
+      lut.route(here, dst, got);
+      expect_routes_equal(expect, got, here, dst, algorithm_name(algo).data());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsTimesShapes, RoutingLutEquivalence,
+    ::testing::Combine(::testing::Values(Algorithm::TFAR, Algorithm::DOR,
+                                         Algorithm::Duato),
+                       ::testing::Values(2u, 3u, 4u, 5u),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      return std::string(algorithm_name(std::get<0>(info.param))) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+/// Larger network, more VCs (distinct Duato adaptive/escape split),
+/// random pair sample instead of the full N^2 product.
+TEST(RoutingLut, MatchesOnRandomPairsLargeNetwork) {
+  const KAryNCube topo(8, 3);  // the paper's full-scale 512-node cube
+  std::mt19937_64 rng(0xC0FFEE);
+  std::uniform_int_distribution<NodeId> pick(0, topo.num_nodes() - 1);
+  for (const auto algo : {Algorithm::TFAR, Algorithm::DOR, Algorithm::Duato}) {
+    for (const unsigned num_vcs : {3u, 4u, 6u}) {
+      const auto fn = make_routing(algo, topo, num_vcs);
+      const RoutingLut lut(*fn, topo);
+      ASSERT_TRUE(lut.tabulated());
+      RouteResult expect, got;
+      for (int trial = 0; trial < 4000; ++trial) {
+        const NodeId here = pick(rng);
+        NodeId dst = pick(rng);
+        if (here == dst) dst = (dst + 1) % topo.num_nodes();
+        fn->route(here, dst, expect);
+        lut.route(here, dst, got);
+        expect_routes_equal(expect, got, here, dst,
+                            algorithm_name(algo).data());
+      }
+    }
+  }
+}
+
+/// A budget below nodes^2 selects the passthrough mode: tabulated() is
+/// false and route() forwards verbatim, so oversized networks keep
+/// working without the caller caring.
+TEST(RoutingLut, PassthroughBelowBudgetStillRoutesIdentically) {
+  const KAryNCube topo(4, 2);
+  const auto fn = make_routing(Algorithm::TFAR, topo, 3);
+  const RoutingLut lut(*fn, topo, /*max_entries=*/topo.num_nodes() - 1);
+  EXPECT_FALSE(lut.tabulated());
+  RouteResult expect, got;
+  for (NodeId here = 0; here < topo.num_nodes(); ++here) {
+    for (NodeId dst = 0; dst < topo.num_nodes(); ++dst) {
+      if (here == dst) continue;
+      fn->route(here, dst, expect);
+      lut.route(here, dst, got);
+      expect_routes_equal(expect, got, here, dst, "passthrough");
+    }
+  }
+}
+
+/// The exact boundary budget (nodes^2) must still tabulate.
+TEST(RoutingLut, ExactBudgetTabulates) {
+  const KAryNCube topo(3, 2);
+  const auto fn = make_routing(Algorithm::DOR, topo, 3);
+  const std::size_t pairs =
+      static_cast<std::size_t>(topo.num_nodes()) * topo.num_nodes();
+  EXPECT_TRUE(RoutingLut(*fn, topo, pairs).tabulated());
+  EXPECT_FALSE(RoutingLut(*fn, topo, pairs - 1).tabulated());
+}
+
+}  // namespace
+}  // namespace wormsim::routing

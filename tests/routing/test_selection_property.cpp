@@ -84,6 +84,44 @@ TEST_P(SelectionPropertyTest, EscapeOnlyChosenWhenNoAdaptiveOption) {
   }
 }
 
+/// Property: the row-based select overload (the devirtualized
+/// cycle-loop path, fed a contiguous free-mask array instead of a
+/// FreeVcView) returns the identical Pick — channel, VC and escape flag
+/// — for random candidate sets, masks and round-robin states.
+TEST_P(SelectionPropertyTest, RowOverloadMatchesVirtualView) {
+  const Selector sel(GetParam());
+  util::Rng rng(0x5E1);
+  constexpr unsigned kVcs = 3;
+  constexpr unsigned kChannels = 6;
+  for (int iter = 0; iter < 5000; ++iter) {
+    RandomView view;
+    std::uint8_t row[kChannels] = {};
+    RouteResult route;
+    const unsigned num_cands =
+        1 + static_cast<unsigned>(rng.below(kChannels));
+    for (unsigned i = 0; i < num_cands; ++i) {
+      const auto ch = static_cast<topo::ChannelId>(i);
+      const auto vc_mask =
+          static_cast<std::uint32_t>(rng.between(1, (1u << kVcs) - 1));
+      const auto free = static_cast<std::uint32_t>(rng.below(1u << kVcs));
+      view.masks_[ch] = free;
+      row[i] = static_cast<std::uint8_t>(free);
+      const bool escape = (i == num_cands - 1) && rng.bernoulli(0.5);
+      route.candidates.push_back({ch, vc_mask, escape});
+      route.useful_phys_mask |= 1u << i;
+    }
+    const auto rr = static_cast<std::uint32_t>(rng.below(16));
+    const auto via_view = sel.select(route, view, rr);
+    const auto via_row = sel.select(route, row, rr);
+    ASSERT_EQ(via_view.has_value(), via_row.has_value()) << "iter " << iter;
+    if (via_view) {
+      ASSERT_EQ(via_view->channel, via_row->channel) << "iter " << iter;
+      ASSERT_EQ(via_view->vc, via_row->vc) << "iter " << iter;
+      ASSERT_EQ(via_view->escape, via_row->escape) << "iter " << iter;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Policies, SelectionPropertyTest,
                          ::testing::Values(SelectionPolicy::MaxFreeVcs,
                                            SelectionPolicy::FirstFit,

@@ -125,6 +125,45 @@ INSTANTIATE_TEST_SUITE_P(Patterns, CoreEquivalence,
                            return name;
                          });
 
+/// Every fast-path toggle combination of the active core must emit the
+/// same sweep CSV as the dense reference: the routing LUT, the
+/// blocked-header route memo and the static limiter/selection dispatch
+/// are pure speedups, never approximations. One sweep per
+/// configuration over the full limiter matrix, compared byte-for-byte.
+TEST(CoreEquivalence, FastPathTogglesKeepSweepCsvByteIdentical) {
+  harness::SweepSpec spec;
+  spec.base = equivalence_base();
+  spec.limiters = {core::LimiterKind::None, core::LimiterKind::ALO,
+                   core::LimiterKind::LF, core::LimiterKind::DRIL};
+  spec.offered_loads = {0.1, 1.0};
+  spec.jobs = 1;
+
+  spec.base.sim.core = SimCore::Dense;
+  std::ostringstream reference;
+  harness::write_sweep_csv(reference, harness::run_sweep(spec));
+
+  struct Toggle {
+    const char* label;
+    FastPathConfig fp;
+  };
+  const Toggle toggles[] = {
+      {"all-on", {}},
+      {"lut-off", {.routing_lut = false}},
+      {"memo-off", {.route_memo = false}},
+      {"dispatch-off", {.static_dispatch = false}},
+      {"all-off",
+       {.routing_lut = false, .route_memo = false, .static_dispatch = false}},
+  };
+  spec.base.sim.core = SimCore::Active;
+  for (const auto& t : toggles) {
+    SCOPED_TRACE(t.label);
+    spec.base.sim.fastpath = t.fp;
+    std::ostringstream csv;
+    harness::write_sweep_csv(csv, harness::run_sweep(spec));
+    EXPECT_EQ(reference.str(), csv.str());
+  }
+}
+
 /// Observability must observe, never participate: attaching a tracer
 /// and spatial metrics to a run cannot change a single result field on
 /// either core, even with deadlock recovery and limiter state hot.

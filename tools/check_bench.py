@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate a bench JSON file against its embedded `criteria` block.
+
+Usage: check_bench.py BENCH_JSON [BENCH_JSON ...]
+
+Each bench binary that emits machine-readable output (today:
+`micro_mechanism --hotpath-json` and `--obs-overhead-json`) embeds the
+pass/fail thresholds it was built with in a top-level `criteria` object.
+This script re-applies those thresholds to the measured points, so a
+perf regression in a freshly produced file fails loudly even if the
+producing binary's own exit code was ignored (e.g. inside a `for` loop
+in run_benches.sh).
+
+Criteria keys are interpreted as follows:
+
+  *_max_pct   -> every point's matching `<stem>_pct` field must be <=
+                 the threshold (e.g. tracing_overhead_max_pct checks
+                 point["tracing_overhead_pct"]).
+  low_load_speedup_min    -> active_speedup of the point with the
+                 smallest offered_flits_node_cycle must be >= threshold.
+  saturation_speedup_min  -> active_speedup of the point with the
+                 largest offered_flits_node_cycle must be >= threshold.
+
+Unknown criteria keys are an error: a renamed gate must not silently
+stop being enforced. Exits non-zero on any violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}")
+    return 1
+
+
+def check_speedup_point(data, point, key, threshold, regime):
+    speedup = point.get("active_speedup")
+    if speedup is None:
+        return fail(f"{regime} point has no active_speedup field")
+    if speedup < threshold:
+        return fail(
+            f"{key}: active_speedup {speedup:.3f} < {threshold} at "
+            f"offered load {point.get('offered_flits_node_cycle')}"
+        )
+    print(
+        f"check_bench: ok: {key}: active_speedup {speedup:.3f} >= "
+        f"{threshold} ({regime})"
+    )
+    return 0
+
+
+def check_file(path):
+    with open(path) as f:
+        data = json.load(f)
+
+    criteria = data.get("criteria")
+    if not isinstance(criteria, dict) or not criteria:
+        return fail(f"{path}: no embedded criteria block")
+    points = data.get("points")
+    if not isinstance(points, list) or not points:
+        return fail(f"{path}: no points to validate")
+
+    bench = data.get("bench", "?")
+    print(f"check_bench: {path}: bench={bench}, {len(points)} points, "
+          f"criteria={json.dumps(criteria)}")
+
+    rc = 0
+    by_load = sorted(
+        points, key=lambda p: p.get("offered_flits_node_cycle", 0.0)
+    )
+    for key, threshold in criteria.items():
+        if key == "low_load_speedup_min":
+            rc |= check_speedup_point(data, by_load[0], key, threshold,
+                                      "low load")
+        elif key == "saturation_speedup_min":
+            rc |= check_speedup_point(data, by_load[-1], key, threshold,
+                                      "saturation")
+        elif key.endswith("_max_pct"):
+            field = key[: -len("_max_pct")] + "_pct"
+            for point in points:
+                value = point.get(field)
+                load = point.get("offered_flits_node_cycle")
+                if value is None:
+                    rc |= fail(f"{key}: point at load {load} has no "
+                               f"{field} field")
+                elif value > threshold:
+                    rc |= fail(f"{key}: {field} {value:.2f} > {threshold} "
+                               f"at offered load {load}")
+                else:
+                    print(f"check_bench: ok: {key}: {field} {value:.2f} "
+                          f"<= {threshold} at load {load}")
+        else:
+            rc |= fail(f"{path}: unknown criteria key '{key}'")
+    return rc
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        rc |= check_file(path)
+    if rc == 0:
+        print("check_bench: all criteria satisfied")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
