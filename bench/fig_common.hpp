@@ -10,6 +10,9 @@
 //   --warmup/--measure/--drain, --k/--n/--vcs/--msg-len/--pattern/--seed
 //   --core dense|active   cycle-loop implementation (default: active;
 //                         results are bit-identical, only speed differs)
+//   --faults SPEC         fault schedule: a file path or a preset like
+//                         transient:2@5000+2000 (kill 2 random links at
+//                         cycle 5000, restore them 2000 cycles later)
 //   --log-level LEVEL     stderr verbosity (error|warn|info|debug);
 //                         WORMSIM_LOG sets the default
 //   --metrics-out FILE    JSONL telemetry, one record per sweep point
@@ -61,6 +64,9 @@ inline config::SimConfig figure_base(const FigureSpec& spec,
   cfg.workload.length.fixed = spec.msg_len;
   harness::apply_common_flags(cfg, args);
   harness::apply_scale_env(cfg);
+  // After scale env on purpose: WORMSIM_FAST shrinks the topology, and
+  // fault presets pick links from the final one.
+  harness::apply_fault_flag(cfg, args);
   return cfg;
 }
 

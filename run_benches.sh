@@ -17,6 +17,17 @@ for b in build/bench/*; do
       # Standard sweep benches: collect per-point JSONL telemetry.
       "$b" --metrics-out "bench_telemetry/$name.jsonl"
       ;;
+    fault_transient)
+      # Degraded-operation demo (telemetry + spatial CSVs of the faulty
+      # network), then the gated recovery-transient JSON, re-validated
+      # the same way as the micro_mechanism gates.
+      "$b" --metrics-out "bench_telemetry/$name.jsonl" \
+           --spatial-out "bench_telemetry/$name" \
+           --spatial-load 1.0 --spatial-limiter alo
+      "$b" --json bench_telemetry/fault_transient.json || status=1
+      python3 tools/check_bench.py bench_telemetry/fault_transient.json \
+        || status=1
+      ;;
     micro_mechanism)
       # Google-benchmark suite, then the gated JSON modes. Each JSON is
       # re-validated against its embedded criteria block so a perf

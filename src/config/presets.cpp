@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "fault/schedule.hpp"
+#include "routing/routing_lut.hpp"
+
 namespace wormsim::config {
 
 SimConfig paper_base() {
@@ -65,6 +68,20 @@ void validate(const SimConfig& cfg) {
   const topo::KAryNCube topo(cfg.k, cfg.n);
   sim::Network probe_net(topo, cfg.sim.net);
   (void)routing::make_routing(cfg.sim.algorithm, topo, cfg.sim.net.num_vcs);
+  if (!cfg.sim.faults.empty()) {
+    if (cfg.sim.algorithm != routing::Algorithm::TFAR) {
+      throw std::invalid_argument(
+          "fault schedules require TFAR routing (the only algorithm with a "
+          "reachability-aware LUT rebuild)");
+    }
+    const std::size_t nodes = topo.num_nodes();
+    if (nodes * nodes > routing::RoutingLut::kMaxEntries) {
+      throw std::invalid_argument(
+          "fault schedules need a tabulable network (too many nodes for the "
+          "routing LUT)");
+    }
+    fault::validate(cfg.sim.faults, topo);
+  }
 }
 
 std::unique_ptr<sim::Simulator> build_simulator(const SimConfig& cfg) {

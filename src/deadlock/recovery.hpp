@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "deadlock/detection.hpp"
@@ -45,6 +46,26 @@ class RecoveryManager {
   void clear() {
     for (auto& q : queues_) q.clear();
     pending_ = 0;
+  }
+
+  /// Remove every queued entry for which `drop(node, msg)` returns true
+  /// (fault reconfiguration: the re-injection node died or the
+  /// destination became unreachable from it). Removed (node, msg) pairs
+  /// are appended to `removed` in deterministic node-then-FIFO order.
+  template <typename Pred>
+  void purge(Pred&& drop, std::vector<std::pair<NodeId, MsgId>>& removed) {
+    for (NodeId node = 0; node < queues_.size(); ++node) {
+      auto& q = queues_[node];
+      for (std::size_t i = 0; i < q.size();) {
+        if (drop(node, q[i].msg)) {
+          removed.emplace_back(node, q[i].msg);
+          q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+          --pending_;
+        } else {
+          ++i;
+        }
+      }
+    }
   }
 
  private:

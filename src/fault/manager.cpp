@@ -1,0 +1,29 @@
+#include "fault/manager.hpp"
+
+namespace wormsim::fault {
+
+void FaultManager::take_due(Cycle t, std::vector<FaultEvent>& out) {
+  const auto& events = schedule_.events();
+  while (next_ < events.size() && events[next_].cycle <= t) {
+    const FaultEvent& e = events[next_];
+    switch (e.kind) {
+      case FaultKind::LinkKill:
+        mask_.kill_link(e.node, e.channel);
+        break;
+      case FaultKind::LinkRestore:
+        mask_.restore_link(e.node, e.channel);
+        break;
+      case FaultKind::NodeKill:
+        mask_.kill_node(e.node);
+        break;
+      case FaultKind::NodeRestore:
+        mask_.restore_node(e.node);
+        break;
+    }
+    out.push_back(e);
+    ++next_;
+    ++applied_;
+  }
+}
+
+}  // namespace wormsim::fault

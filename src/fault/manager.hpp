@@ -1,0 +1,41 @@
+// FaultManager: the schedule cursor plus the cumulative dead-component
+// mask. The simulator's per-cycle gate is a single branch on a null
+// manager pointer followed (when faults are configured) by due(); the
+// network surgery, table rebuild and message purge all happen in the
+// simulator, which owns the affected state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/schedule.hpp"
+#include "topology/fault_mask.hpp"
+
+namespace wormsim::fault {
+
+class FaultManager {
+ public:
+  FaultManager(const topo::KAryNCube& topo, FaultSchedule schedule)
+      : schedule_(std::move(schedule)), mask_(topo) {}
+
+  bool due(Cycle t) const noexcept {
+    return next_ < schedule_.events().size() &&
+           schedule_.events()[next_].cycle <= t;
+  }
+
+  /// Apply every event with cycle <= t to the mask, in schedule order,
+  /// appending them to `out` for the caller's network surgery.
+  void take_due(Cycle t, std::vector<FaultEvent>& out);
+
+  const FaultSchedule& schedule() const noexcept { return schedule_; }
+  const topo::FaultMask& mask() const noexcept { return mask_; }
+  std::uint64_t events_applied() const noexcept { return applied_; }
+
+ private:
+  FaultSchedule schedule_;
+  topo::FaultMask mask_;
+  std::size_t next_ = 0;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace wormsim::fault

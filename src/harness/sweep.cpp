@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "fault/schedule.hpp"
 #include "obs/log.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
@@ -289,6 +290,13 @@ void apply_common_flags(config::SimConfig& cfg, const util::ArgParser& args) {
   }
 }
 
+void apply_fault_flag(config::SimConfig& cfg, const util::ArgParser& args) {
+  if (auto spec = args.get("faults")) {
+    const topo::KAryNCube topo(cfg.k, cfg.n);
+    cfg.sim.faults = fault::load_faults(*spec, topo, cfg.seed);
+  }
+}
+
 unsigned jobs_flag(const util::ArgParser& args) {
   return static_cast<unsigned>(args.get_uint("jobs", 0));
 }
@@ -319,6 +327,11 @@ std::string describe(const config::SimConfig& cfg) {
      << ", core=" << sim::sim_core_name(cfg.sim.core)
      << ", warmup=" << cfg.protocol.warmup
      << ", measure=" << cfg.protocol.measure << ", seed=" << cfg.seed;
+  // Only non-empty schedules appear, so fault-free banners (and any CSV
+  // that embeds them) stay byte-identical to pre-fault-subsystem output.
+  if (!cfg.sim.faults.empty()) {
+    os << ", faults=" << cfg.sim.faults.size() << " events";
+  }
   return os.str();
 }
 

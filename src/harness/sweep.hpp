@@ -106,6 +106,13 @@ std::vector<double> load_range(double lo, double hi, unsigned points);
 void apply_common_flags(config::SimConfig& cfg, const util::ArgParser& args);
 void apply_scale_env(config::SimConfig& cfg);
 
+/// Materialize a `--faults <spec>` flag into cfg.sim.faults, where
+/// <spec> is either a schedule file path or a `transient:...` preset
+/// (see fault/schedule.hpp). Must run AFTER apply_common_flags and
+/// apply_scale_env: presets pick random links from the *final*
+/// topology, and WORMSIM_FAST=1 shrinks `n`. No-op without the flag.
+void apply_fault_flag(config::SimConfig& cfg, const util::ArgParser& args);
+
 /// Read the `--jobs N` flag for SweepSpec::jobs (0 = auto: WORMSIM_JOBS
 /// env override or hardware concurrency). Shared by every bench/example
 /// so the knob is spelled the same everywhere.

@@ -31,6 +31,8 @@ void emit_config(util::JsonWriter& w, const config::SimConfig& cfg) {
   w.field("measure", cfg.protocol.measure);
   w.field("drain_max", cfg.protocol.drain_max);
   w.field("seed", cfg.seed);
+  w.field("fault_schedule_events",
+          static_cast<std::uint64_t>(cfg.sim.faults.size()));
   w.end_object();
 }
 
@@ -48,6 +50,9 @@ void emit_result(util::JsonWriter& w, const metrics::SimResult& r) {
   w.field("messages_generated", r.messages_generated);
   w.field("messages_injected", r.messages_injected);
   w.field("messages_delivered", r.messages_delivered);
+  w.field("messages_lost", r.messages_lost);
+  w.field("fault_events", r.fault_events);
+  w.field("lut_rebuilds", r.lut_rebuilds);
   w.field("avg_queue_len", r.avg_queue_len);
   w.field("max_queue_len", r.max_queue_len);
   w.field("probe_pct_a", r.probe.pct_a());

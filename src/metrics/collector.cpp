@@ -38,6 +38,7 @@ SimResult Collector::finish(NodeId num_nodes) const {
   r.messages_delivered = delivered_;
   r.measured_delivered = measured_delivered_;
   r.measured_generated = measured_generated_;
+  r.messages_lost = lost_;
 
   r.avg_queue_len = queue_len_.mean();
   r.max_queue_len = static_cast<std::uint64_t>(queue_len_.max());

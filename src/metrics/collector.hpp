@@ -68,6 +68,7 @@ struct SimResult {
   std::uint64_t messages_delivered = 0;
   std::uint64_t measured_delivered = 0;
   std::uint64_t measured_generated = 0;
+  std::uint64_t messages_lost = 0;  // dropped by fault reconfiguration
 
   // Source queues
   double avg_queue_len = 0.0;
@@ -92,6 +93,11 @@ struct SimResult {
   double avg_active_links = 0.0;  // mean occupied network links / cycle
   double avg_active_nodes = 0.0;  // mean active-set nodes / cycle (active core)
   double route_memo_hit_rate = 0.0;  // blocked-header re-routes avoided
+
+  // Fault injection (all zero on healthy runs; also excluded from sweep
+  // CSVs, which never carry fault columns)
+  std::uint64_t fault_events = 0;  // schedule events applied so far
+  std::uint64_t lut_rebuilds = 0;  // routing-table reconfigurations
 };
 
 /// Streaming collector the simulator feeds; produces a SimResult.
@@ -139,6 +145,12 @@ class Collector {
   void on_queue_sample(std::size_t len) noexcept {
     queue_len_.add(static_cast<double>(len));
   }
+  /// A message that will never be delivered: its destination died or
+  /// became unreachable (fault reconfiguration).
+  void on_lost(bool measured) noexcept {
+    ++lost_;
+    if (measured) ++measured_lost_;
+  }
 
   std::uint64_t measured_generated() const noexcept {
     return measured_generated_;
@@ -146,6 +158,7 @@ class Collector {
   std::uint64_t measured_delivered() const noexcept {
     return measured_delivered_;
   }
+  std::uint64_t measured_lost() const noexcept { return measured_lost_; }
   const util::FairnessCounters& fairness() const noexcept { return fairness_; }
 
   /// Finalize into a SimResult (the caller fills the config echo and
@@ -170,6 +183,8 @@ class Collector {
   std::uint64_t measured_delivered_ = 0;
   std::uint64_t flits_ejected_window_ = 0;
   std::uint64_t deadlocks_window_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t measured_lost_ = 0;
 };
 
 }  // namespace wormsim::metrics

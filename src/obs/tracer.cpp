@@ -40,6 +40,11 @@ std::string_view event_kind_name(EventKind kind) noexcept {
     case EventKind::QueueDequeue: return "queue_dequeue";
     case EventKind::PointBegin: return "point_begin";
     case EventKind::PointEnd: return "point_end";
+    case EventKind::FaultLinkKill: return "fault_link_kill";
+    case EventKind::FaultLinkRestore: return "fault_link_restore";
+    case EventKind::FaultNodeKill: return "fault_node_kill";
+    case EventKind::FaultNodeRestore: return "fault_node_restore";
+    case EventKind::FaultLutRebuild: return "fault_lut_rebuild";
   }
   return "unknown";
 }
@@ -151,6 +156,11 @@ Lane lane_of(EventKind kind) noexcept {
     case EventKind::VcRelease: return {3, "virtual channels", "vc"};
     case EventKind::DeadlockDetect:
     case EventKind::RecoveryReinject: return {4, "deadlock", "deadlock"};
+    case EventKind::FaultLinkKill:
+    case EventKind::FaultLinkRestore:
+    case EventKind::FaultNodeKill:
+    case EventKind::FaultNodeRestore:
+    case EventKind::FaultLutRebuild: return {5, "faults", "fault"};
     case EventKind::PointBegin:
     case EventKind::PointEnd: return {0, "sweep point", "sweep"};
   }
@@ -192,6 +202,19 @@ void emit_args(util::JsonWriter& w, const TraceEvent& e) {
       w.field("node", e.node);
       w.field("queue_len", e.aux32);
       w.field("length", static_cast<unsigned>(e.aux16));
+      break;
+    case EventKind::FaultLinkKill:
+    case EventKind::FaultLinkRestore:
+      w.field("node", e.node);
+      w.field("channel", static_cast<unsigned>(e.aux8));
+      break;
+    case EventKind::FaultNodeKill:
+    case EventKind::FaultNodeRestore:
+      w.field("node", e.node);
+      break;
+    case EventKind::FaultLutRebuild:
+      w.field("dead_links", e.aux32);
+      w.field("dead_nodes", static_cast<unsigned>(e.aux16));
       break;
     case EventKind::PointBegin:
     case EventKind::PointEnd: break;

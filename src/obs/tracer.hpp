@@ -47,6 +47,12 @@ enum class EventKind : std::uint8_t {
   QueueDequeue,      // message left a source queue for the network
   PointBegin,        // sweep point started (cycle 0)
   PointEnd,          // sweep point finished (cycle = total cycles)
+  FaultLinkKill,     // physical link failed (node, aux8 = channel)
+  FaultLinkRestore,  // physical link repaired (node, aux8 = channel)
+  FaultNodeKill,     // node failed
+  FaultNodeRestore,  // node repaired
+  FaultLutRebuild,   // routing table rebuilt (aux32 = dead directed
+                     // links, aux16 = dead nodes after the rebuild)
 };
 
 std::string_view event_kind_name(EventKind kind) noexcept;

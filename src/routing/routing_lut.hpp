@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "routing/routing.hpp"
+#include "topology/fault_mask.hpp"
 
 namespace wormsim::routing {
 
@@ -63,6 +64,24 @@ class RoutingLut {
 
   Algorithm algorithm() const noexcept { return algo_; }
 
+  /// Retabulate the table, O(table size). With a null or empty fault
+  /// mask this reproduces the original routes bit-exactly (the
+  /// construction-time tabulation re-runs). With faults present the
+  /// table switches to BFS-shortest-path routes over the alive graph
+  /// (TFAR only: every alive channel one hop closer to dst becomes a
+  /// candidate, so routes bend around dead components and may leave the
+  /// minimal quadrant). Throws std::invalid_argument for a non-empty
+  /// mask in passthrough mode or under a deterministic algorithm.
+  void rebuild(const topo::FaultMask* faults);
+
+  /// After a fault-aware rebuild: is dst reachable from `here` over the
+  /// alive graph? Healthy tables report every pair reachable.
+  bool reachable(topo::NodeId here, topo::NodeId dst) const noexcept {
+    if (here == dst) return true;
+    if (entries_.empty()) return true;
+    return entries_[static_cast<std::size_t>(here) * nodes_ + dst].useful != 0;
+  }
+
  private:
   struct Entry {
     std::uint16_t useful = 0;      // useful physical channel mask
@@ -70,9 +89,11 @@ class RoutingLut {
     std::uint8_t det_class = 0;    // its dateline VC class (0 or 1)
   };
 
+  void tabulate();
   void expand(const Entry& e, RouteResult& out) const;
 
   const RoutingFunction* fn_;
+  const topo::KAryNCube* topo_;
   Algorithm algo_;
   unsigned num_vcs_;
   topo::NodeId nodes_;

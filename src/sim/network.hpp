@@ -214,8 +214,7 @@ class Network final : public core::ChannelStatus {
     }
     if (ref.link < num_net_links_) {
       free_mask_[ref.link] =
-          static_cast<std::uint8_t>(~l.active_vc_mask) &
-          static_cast<std::uint8_t>((1u << params_.num_vcs) - 1u);
+          static_cast<std::uint8_t>(~l.active_vc_mask) & vc_field_[ref.link];
       ++link_epoch_[ref.link];
       if (l.active_vc_mask != 0) {
         tenant_links_.insert(ref.link);
@@ -223,6 +222,32 @@ class Network final : public core::ChannelStatus {
         tenant_links_.erase(ref.link);
       }
     }
+  }
+
+  // --- Dead links (fault injection) ------------------------------------
+  /// Zero / restore a network link's admissible-VC field. A dead link's
+  /// free mask reads 0, so no selection, limiter or injection scan can
+  /// pick it; its epoch bumps so memoized routes re-validate. The
+  /// caller must have torn down every tenant and drained the in-flight
+  /// pipeline before killing.
+  void set_link_dead(LinkId link, bool dead) noexcept {
+    assert(link < num_net_links_);
+    assert(!dead || (links_[link].active_vc_mask == 0 &&
+                     links_[link].in_flight.empty()));
+    vc_field_[link] =
+        dead ? 0 : static_cast<std::uint8_t>((1u << params_.num_vcs) - 1u);
+    free_mask_[link] =
+        static_cast<std::uint8_t>(~links_[link].active_vc_mask) &
+        vc_field_[link];
+    ++link_epoch_[link];
+  }
+  bool link_dead(LinkId link) const noexcept {
+    return link < num_net_links_ && vc_field_[link] == 0;
+  }
+  /// Bump every network link's epoch — a routing-table rebuild changes
+  /// which candidates are valid even where free masks did not move.
+  void bump_all_epochs() noexcept {
+    for (std::uint64_t& e : link_epoch_) ++e;
   }
 
   // --- Active sets ------------------------------------------------------
@@ -261,6 +286,7 @@ class Network final : public core::ChannelStatus {
   // SoA mirrors for the cycle-loop fast path, maintained by set_active
   // (the sole writer of active_vc_mask). Net links only.
   std::vector<std::uint8_t> free_mask_;    // ~active_vc_mask & vc_field
+  std::vector<std::uint8_t> vc_field_;     // admissible VCs; 0 = dead link
   std::vector<std::uint64_t> link_epoch_;  // bumped per set_active
 
   util::ActiveSet tenant_links_;   // net links with active_vc_mask != 0

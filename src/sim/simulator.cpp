@@ -62,6 +62,28 @@ Simulator::Simulator(const topo::KAryNCube& topo, const SimulatorConfig& cfg,
   if (active && cfg_.fastpath.routing_lut) {
     lut_ = std::make_unique<routing::RoutingLut>(*routing_, topo_);
   }
+  if (!cfg_.faults.empty()) {
+    fault::validate(cfg_.faults, topo_);
+    if (cfg_.algorithm != routing::Algorithm::TFAR) {
+      throw std::invalid_argument(
+          "fault schedules require TFAR routing (reconfiguration has no "
+          "alternative paths under a deterministic algorithm)");
+    }
+    // Reconfiguration routes around failures by rebuilding the LUT, so
+    // the table must exist in either core — the dense core included,
+    // or the two cores would diverge the moment a fault fires. The LUT
+    // is bit-identical to the wrapped function, so forcing it here
+    // cannot perturb pre-fault behavior.
+    if (!lut_) {
+      lut_ = std::make_unique<routing::RoutingLut>(*routing_, topo_);
+    }
+    if (!lut_->tabulated()) {
+      throw std::invalid_argument(
+          "fault schedules need a tabulable network (too many nodes for "
+          "the routing-LUT budget)");
+    }
+    faults_ = std::make_unique<fault::FaultManager>(topo_, cfg_.faults);
+  }
   memo_on_ = active && cfg_.fastpath.route_memo;
   if (memo_on_) route_memo_.resize(net_.num_vc_slots());
   static_dispatch_on_ = active && cfg_.fastpath.static_dispatch;
@@ -94,6 +116,16 @@ void Simulator::resolve_limiter_dispatch() {
 
 void Simulator::enqueue_source(NodeId node, NodeId dst, std::uint32_t length,
                                Cycle t) {
+  if (faults_ && !deliverable(node, dst)) {
+    // The source cannot know the destination died, but queueing the
+    // message would wedge the FIFO head forever: count it generated and
+    // immediately lost instead. (Generation at a dead node itself is
+    // suppressed in poll_node.)
+    ++generated_total_;
+    collector_.on_generated(t);
+    count_lost(collector_.in_window(t));
+    return;
+  }
   queues_[node].push_back({dst, length, t, collector_.in_window(t)});
   if (queues_[node].size() == 1) head_since_[node] = t;
   ++queue_total_;
@@ -119,6 +151,7 @@ void Simulator::step() {
   scan_.scan_total +=
       2 * static_cast<std::uint64_t>(net_.num_net_links()) +
       3 * static_cast<std::uint64_t>(topo_.num_nodes());
+  if (faults_ && faults_->due(t)) apply_faults(t);
   phase_generate(t);
   phase_arrivals(t);
   phase_eject(t);
@@ -145,6 +178,7 @@ void Simulator::step() {
     std::string why;
     assert(check_active_sets(&why) && why.c_str());
     assert(check_conservation(&why) && why.c_str());
+    assert(check_fault_invariants(&why) && why.c_str());
 #endif
   }
   ++cycle_;
@@ -153,6 +187,10 @@ void Simulator::step() {
 // --- Generation -------------------------------------------------------
 
 void Simulator::poll_node(NodeId node, Cycle t) {
+  // Dead sources are silent; skipping the poll leaves the per-node
+  // generator state untouched, so it resumes cleanly on restore (both
+  // cores skip identically).
+  if (faults_ && faults_->mask().node_dead(node)) return;
   gen_buf_.clear();
   workload_->poll(node, t, gen_buf_);
   for (const auto& g : gen_buf_) {
@@ -719,19 +757,20 @@ bool Simulator::requested_channels_frozen(
   return true;
 }
 
-void Simulator::absorb_deadlocked(MsgId id, Cycle t) {
+void Simulator::teardown_worm(MsgId id, Cycle t) {
   Message& m = pool_[id];
-  ++m.deadlock_detections;
-  ++deadlock_events_;
-  collector_.on_deadlock(t);
-  if (timeseries_) timeseries_->on_deadlock(t);
-
-  const NodeId absorb_node = net_.link(m.head.link).dst;
-  // The header's slot carried this tenancy's blocked-memo key; end it.
+  // The header's slot may carry this tenancy's blocked-memo key; end it.
   if (memo_on_) route_memo_[net_.vc_flat_index(m.head)].msg = kNoMsg;
-  if (tracer_) {
-    tracer_->record(t, obs::EventKind::DeadlockDetect, absorb_node, 0,
-                    static_cast<std::uint16_t>(m.length), id);
+  // Deadlocked worms are never eject-bound (at-destination headers are
+  // exempt from detection), but fault surgery can hit one mid-delivery:
+  // release the ejection port too.
+  VcState& head_vc = net_.vc(m.head);
+  if (head_vc.out_kind == VcState::OutKind::Eject) {
+    EjectPort& port =
+        net_.eject_port(net_.link(m.head.link).dst, head_vc.eject_port);
+    assert(port.msg == id);
+    port.msg = kNoMsg;
+    port.src = VcRef{};
   }
   VcRef cur = m.head;
   while (cur.valid()) {
@@ -744,15 +783,192 @@ void Simulator::absorb_deadlocked(MsgId id, Cycle t) {
     }
     cur = up;
   }
-
   m.head = VcRef{};
   m.in_network = false;
   m.at_destination = false;
   m.entered_network = false;
   m.last_progress = t;
+}
+
+void Simulator::absorb_deadlocked(MsgId id, Cycle t) {
+  Message& m = pool_[id];
+  ++m.deadlock_detections;
+  ++deadlock_events_;
+  collector_.on_deadlock(t);
+  if (timeseries_) timeseries_->on_deadlock(t);
+
+  const NodeId absorb_node = net_.link(m.head.link).dst;
+  if (tracer_) {
+    tracer_->record(t, obs::EventKind::DeadlockDetect, absorb_node, 0,
+                    static_cast<std::uint16_t>(m.length), id);
+  }
+  teardown_worm(id, t);
   recovery_.enqueue(absorb_node, id,
                     t + cfg_.recovery.base_delay + m.length);
   inject_nodes_.insert(absorb_node);
+}
+
+// --- Fault injection & dynamic reconfiguration ------------------------
+
+void Simulator::count_lost(bool measured) {
+  ++lost_total_;
+  collector_.on_lost(measured);
+}
+
+void Simulator::drop_active_message(MsgId id, Cycle t) {
+  (void)t;
+  count_lost(pool_[id].measured);
+  deactivate(id);
+  pool_.release(id);
+}
+
+bool Simulator::deliverable(NodeId from, NodeId dst) const {
+  const topo::FaultMask& mask = faults_->mask();
+  if (mask.node_dead(from) || mask.node_dead(dst)) return false;
+  return from == dst || lut_->reachable(from, dst);
+}
+
+void Simulator::fault_absorb(MsgId id, Cycle t) {
+  // Same software-recovery path as a deadlocked worm (the DBR reuse):
+  // tear the worm down and re-enqueue it at the node its header had
+  // reached, minus the deadlock accounting — this message is a fault
+  // casualty, not a presumed deadlock. If the absorb node itself died
+  // (its header was entering it), purge_undeliverable drops the entry.
+  const NodeId absorb_node = net_.link(pool_[id].head.link).dst;
+  teardown_worm(id, t);
+  recovery_.enqueue(absorb_node, id,
+                    t + cfg_.recovery.base_delay + pool_[id].length);
+  inject_nodes_.insert(absorb_node);
+}
+
+void Simulator::kill_node_state(NodeId node, Cycle t) {
+  // Source-queued messages die with their node.
+  auto& q = queues_[node];
+  for (const PendingMessage& pm : q) count_lost(pm.measured);
+  queue_total_ -= q.size();
+  q.clear();
+  // Worms still inside the node's injection channels are torn down like
+  // any displaced worm; their absorb node is the dead node itself, so
+  // purge_undeliverable drops them right after.
+  VcState* const inj_row = net_.inj_vc_row(node);
+  const unsigned inj = net_.params().inj_channels;
+  for (unsigned i = 0; i < inj; ++i) {
+    if (!inj_row[i].free()) fault_absorb(inj_row[i].msg, t);
+  }
+}
+
+void Simulator::sync_dead_links(Cycle t) {
+  const topo::FaultMask& mask = faults_->mask();
+  for (LinkId l = 0; l < net_.num_net_links(); ++l) {
+    const Link& lk = net_.link(l);
+    const bool dead = mask.link_dead(lk.src, lk.src_channel);
+    if (dead == net_.link_dead(l)) continue;
+    if (dead) {
+      // Every worm crossing the dying link is displaced into recovery.
+      // teardown clears the link's tenant bits (and drains its
+      // in-flight pipeline) as it walks, so this loop terminates.
+      while (lk.active_vc_mask != 0) {
+        const auto vcn = static_cast<std::uint8_t>(
+            std::countr_zero(static_cast<unsigned>(lk.active_vc_mask)));
+        fault_absorb(net_.vc(VcRef{l, vcn}).msg, t);
+      }
+    }
+    net_.set_link_dead(l, dead);
+  }
+}
+
+void Simulator::purge_undeliverable(Cycle t) {
+  // In-network worms whose destination died or became unreachable from
+  // the node their header has reached. Swap-remove iteration: stay on
+  // index i after a drop.
+  for (std::size_t i = 0; i < active_.size();) {
+    const MsgId id = active_[i];
+    const Message& m = pool_[id];
+    if (m.in_network) {
+      const NodeId here = net_.link(m.head.link).dst;
+      if (!deliverable(here, m.dst)) {
+        teardown_worm(id, t);
+        drop_active_message(id, t);
+        continue;
+      }
+    }
+    ++i;
+  }
+  // Recovery-queued messages whose re-injection node died or whose
+  // destination is no longer reachable from it.
+  purge_buf_.clear();
+  recovery_.purge(
+      [this](deadlock::NodeId node, deadlock::MsgId id) {
+        return !deliverable(node, pool_[id].dst);
+      },
+      purge_buf_);
+  for (const auto& [node, id] : purge_buf_) {
+    (void)node;
+    drop_active_message(id, t);
+  }
+  // Source-queued messages to dead or unreachable destinations (a dead
+  // node's own queue was already cleared by kill_node_state).
+  for (NodeId node = 0; node < topo_.num_nodes(); ++node) {
+    auto& q = queues_[node];
+    if (q.empty()) continue;
+    bool head_changed = false;
+    for (std::size_t qi = 0; qi < q.size();) {
+      if (!deliverable(node, q[qi].dst)) {
+        count_lost(q[qi].measured);
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(qi));
+        --queue_total_;
+        head_changed |= qi == 0;
+      } else {
+        ++qi;
+      }
+    }
+    if (head_changed && !q.empty()) head_since_[node] = t;
+  }
+}
+
+void Simulator::apply_faults(Cycle t) {
+  fault_buf_.clear();
+  faults_->take_due(t, fault_buf_);
+  assert(!fault_buf_.empty());
+  for (const fault::FaultEvent& e : fault_buf_) {
+    ++fault_events_;
+    if (tracer_) {
+      obs::EventKind kind = obs::EventKind::FaultLinkKill;
+      switch (e.kind) {
+        case fault::FaultKind::LinkKill:
+          kind = obs::EventKind::FaultLinkKill;
+          break;
+        case fault::FaultKind::LinkRestore:
+          kind = obs::EventKind::FaultLinkRestore;
+          break;
+        case fault::FaultKind::NodeKill:
+          kind = obs::EventKind::FaultNodeKill;
+          break;
+        case fault::FaultKind::NodeRestore:
+          kind = obs::EventKind::FaultNodeRestore;
+          break;
+      }
+      tracer_->record(t, kind, e.node, e.channel);
+    }
+    if (e.kind == fault::FaultKind::NodeKill) kill_node_state(e.node, t);
+  }
+  sync_dead_links(t);
+  // O(table) reconfiguration: retabulate the LUT on the alive graph,
+  // bump every link epoch and flush the route memo, so every blocked
+  // header re-routes against the new table next phase_route.
+  lut_->rebuild(&faults_->mask());
+  ++lut_rebuilds_;
+  net_.bump_all_epochs();
+  if (memo_on_) {
+    for (RouteMemo& memo : route_memo_) memo = RouteMemo{};
+  }
+  if (tracer_) {
+    tracer_->record(
+        t, obs::EventKind::FaultLutRebuild, 0, 0,
+        static_cast<std::uint16_t>(faults_->mask().dead_nodes()),
+        static_cast<std::uint32_t>(faults_->mask().killed_links()));
+  }
+  purge_undeliverable(t);
 }
 
 // --- Delivery / bookkeeping -------------------------------------------
@@ -864,18 +1080,88 @@ bool Simulator::check_conservation(std::string* why) const {
     if (why) *why = msg;
     return false;
   };
-  const std::uint64_t accounted = delivered_ + active_.size() + queue_total_;
+  const std::uint64_t accounted =
+      delivered_ + active_.size() + queue_total_ + lost_total_;
   if (generated_total_ != accounted) {
     return fail("message conservation violated: generated=" +
                 std::to_string(generated_total_) + " delivered=" +
                 std::to_string(delivered_) + " in-flight=" +
                 std::to_string(active_.size()) + " queued=" +
-                std::to_string(queue_total_));
+                std::to_string(queue_total_) + " lost=" +
+                std::to_string(lost_total_));
   }
   if (active_.empty() && net_.flits_in_network() != 0) {
     return fail("no active messages but " +
                 std::to_string(net_.flits_in_network()) +
                 " flits still in the network");
+  }
+  return true;
+}
+
+bool Simulator::check_fault_invariants(std::string* why) const {
+  const auto fail = [why](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  if (!faults_) return true;
+  const topo::FaultMask& mask = faults_->mask();
+
+  for (LinkId l = 0; l < net_.num_net_links(); ++l) {
+    const Link& lk = net_.link(l);
+    const bool dead = mask.link_dead(lk.src, lk.src_channel);
+    if (dead != net_.link_dead(l)) {
+      return fail("dead-link field out of sync with fault mask at link " +
+                  std::to_string(l));
+    }
+    if (!dead) continue;
+    if (lk.active_vc_mask != 0) {
+      return fail("dead link " + std::to_string(l) + " has tenant VCs");
+    }
+    if (!lk.in_flight.empty()) {
+      return fail("dead link " + std::to_string(l) +
+                  " still carries in-flight flits");
+    }
+    if (net_.free_vc_mask(lk.src, lk.src_channel) != 0) {
+      return fail("dead link " + std::to_string(l) + " advertises free VCs");
+    }
+  }
+
+  const unsigned ports = net_.params().eje_channels;
+  const unsigned inj = net_.params().inj_channels;
+  for (NodeId node = 0; node < topo_.num_nodes(); ++node) {
+    if (!mask.node_dead(node)) continue;
+    for (unsigned p = 0; p < ports; ++p) {
+      if (net_.eject_port(node, p).busy()) {
+        return fail("dead node " + std::to_string(node) +
+                    " has a busy ejection port");
+      }
+    }
+    const VcState* const inj_row = net_.inj_vc_row(node);
+    for (unsigned i = 0; i < inj; ++i) {
+      if (!inj_row[i].free()) {
+        return fail("dead node " + std::to_string(node) +
+                    " has an occupied injection channel");
+      }
+    }
+    if (!queues_[node].empty()) {
+      return fail("dead node " + std::to_string(node) +
+                  " has a non-empty source queue");
+    }
+    if (recovery_.pending(node) != 0) {
+      return fail("dead node " + std::to_string(node) +
+                  " has pending recovery re-injections");
+    }
+  }
+
+  // No live message is headed for a dead destination: it could never
+  // drain and would wedge a resource forever.
+  for (const MsgId id : active_) {
+    const Message& m = pool_[id];
+    if (mask.node_dead(m.dst)) {
+      return fail("message " + std::to_string(id) +
+                  " still live but targets dead node " +
+                  std::to_string(m.dst));
+    }
   }
   return true;
 }
@@ -899,9 +1185,12 @@ metrics::SimResult Simulator::run(const RunProtocol& protocol) {
   while (cycle_ < measure_end) step();
   const std::size_t queue_at_measure_end = source_queue_total();
 
+  // Lost messages can never drain; the identity accounts for them so a
+  // run with mid-measurement faults still terminates promptly.
   const Cycle drain_end = measure_end + protocol.drain_max;
   while (cycle_ < drain_end &&
-         collector_.measured_delivered() < collector_.measured_generated()) {
+         collector_.measured_delivered() + collector_.measured_lost() <
+             collector_.measured_generated()) {
     step();
   }
 
@@ -910,7 +1199,10 @@ metrics::SimResult Simulator::run(const RunProtocol& protocol) {
   r.measure_cycles = protocol.measure;
   r.total_cycles = cycle_;
   r.fully_drained =
-      collector_.measured_delivered() >= collector_.measured_generated();
+      collector_.measured_delivered() + collector_.measured_lost() >=
+      collector_.measured_generated();
+  r.fault_events = fault_events_;
+  r.lut_rebuilds = lut_rebuilds_;
   // Heuristic saturation flag: source queues grew substantially during
   // the measurement window.
   r.saturated = queue_at_measure_end >

@@ -43,6 +43,8 @@
 #include "core/limiter.hpp"
 #include "deadlock/detection.hpp"
 #include "deadlock/recovery.hpp"
+#include "fault/manager.hpp"
+#include "fault/schedule.hpp"
 #include "metrics/collector.hpp"
 #include "metrics/spatial.hpp"
 #include "metrics/timeseries.hpp"
@@ -91,6 +93,11 @@ struct SimulatorConfig {
   core::LimiterConfig limiter{};
   deadlock::DetectionConfig detection{};
   deadlock::RecoveryConfig recovery{};
+  /// Deterministic fault schedule (empty = no fault subsystem at all:
+  /// the cycle loop's only cost is one branch on a null manager).
+  /// Non-empty schedules require TFAR routing and a tabulable network —
+  /// reconfiguration routes around failures by rebuilding the LUT.
+  fault::FaultSchedule faults{};
   SimCore core = SimCore::Active;
   FastPathConfig fastpath{};
   std::uint64_t seed = 1;
@@ -243,9 +250,16 @@ class Simulator {
   /// non-null) on the first violation. Cheap enough for test loops; the
   /// debug build runs it periodically via an assert.
   bool check_active_sets(std::string* why = nullptr) const;
-  /// Message conservation: generated == delivered + in network/queues,
-  /// and an empty network holds zero flits. Same reporting convention.
+  /// Message conservation: generated == delivered + in network/queues +
+  /// lost-to-faults, and an empty network holds zero flits. Same
+  /// reporting convention.
   bool check_conservation(std::string* why = nullptr) const;
+  /// Fault coherence (trivially true without a fault schedule): the
+  /// network's dead-link fields mirror the fault mask, dead links carry
+  /// no tenants/flits and advertise no free VCs, dead nodes hold no
+  /// queued, recovering or ejecting traffic, and no live in-network
+  /// message targets a dead destination. Same reporting convention.
+  bool check_fault_invariants(std::string* why = nullptr) const;
 
   std::size_t messages_in_flight() const noexcept { return active_.size(); }
   std::size_t source_queue_len(NodeId node) const noexcept {
@@ -259,6 +273,17 @@ class Simulator {
     return deadlock_events_;
   }
   std::uint64_t total_delivered() const noexcept { return delivered_; }
+  /// Messages dropped by fault reconfiguration (destination dead or
+  /// unreachable); part of the conservation identity.
+  std::uint64_t total_lost() const noexcept { return lost_total_; }
+  /// Schedule events applied so far (kills + restores).
+  std::uint64_t fault_events_applied() const noexcept { return fault_events_; }
+  /// Routing-table reconfigurations triggered by fault events.
+  std::uint64_t lut_rebuilds() const noexcept { return lut_rebuilds_; }
+  /// Null when the fault schedule is empty.
+  const fault::FaultManager* fault_manager() const noexcept {
+    return faults_.get();
+  }
 
   /// All in-flight message ids (diagnostics/tests).
   const std::vector<MsgId>& active_messages() const noexcept {
@@ -354,10 +379,37 @@ class Simulator {
 
   void enroll_for_routing(VcRef ref);
   void start_injection(NodeId node, unsigned inj_channel, MsgId id, Cycle t);
+  /// Free every VC the worm occupies (head-to-tail upstream walk),
+  /// including an ejection-port binding, and reset the message record
+  /// to its pre-injection state. Shared by deadlock absorption and
+  /// fault surgery.
+  void teardown_worm(MsgId id, Cycle t);
   void absorb_deadlocked(MsgId id, Cycle t);
   void deliver(MsgId id, Cycle t);
   void activate(MsgId id);
   void deactivate(MsgId id);
+
+  // --- Fault injection & dynamic reconfiguration -----------------------
+  /// Apply due schedule events, tear traffic off dying components,
+  /// rebuild the routing table and purge undeliverable messages.
+  void apply_faults(Cycle t);
+  /// Tear down a live worm and hand it to deadlock recovery at the node
+  /// its header had reached (the DBR-style reuse of the recovery path).
+  void fault_absorb(MsgId id, Cycle t);
+  /// Mirror the fault mask into the network's dead-link fields, tearing
+  /// down every worm crossing a newly dead link first.
+  void sync_dead_links(Cycle t);
+  /// Drop every active, recovery-queued or source-queued message whose
+  /// destination died or became unreachable.
+  void purge_undeliverable(Cycle t);
+  /// Clear a dying node's source queue and tear down worms occupying
+  /// its injection channels.
+  void kill_node_state(NodeId node, Cycle t);
+  /// Both endpoints alive and a route exists on the alive graph.
+  bool deliverable(NodeId from, NodeId dst) const;
+  void count_lost(bool measured);
+  /// Deactivate + release an in-network/recovery message as lost.
+  void drop_active_message(MsgId id, Cycle t);
 
   topo::KAryNCube topo_;
   SimulatorConfig cfg_;
@@ -366,9 +418,15 @@ class Simulator {
   routing::Selector selector_;
   std::unique_ptr<core::InjectionLimiter> limiter_;
   /// Tabulated routing (active core with fastpath.routing_lut; null
-  /// otherwise — route_at falls back to the virtual function).
+  /// otherwise — route_at falls back to the virtual function). Always
+  /// built, in either core, when a fault schedule is present:
+  /// reconfiguration works by rebuilding this table, and both cores
+  /// must route from the same one to stay bit-identical.
   std::unique_ptr<routing::RoutingLut> lut_;
   std::unique_ptr<traffic::Workload> workload_;
+  /// Null when cfg.faults is empty — the provably-no-op fast path, like
+  /// the branch-on-null tracer.
+  std::unique_ptr<fault::FaultManager> faults_;
   deadlock::RecoveryManager recovery_;
   metrics::Collector collector_;
   std::unique_ptr<metrics::TimeSeries> timeseries_;
@@ -464,6 +522,11 @@ class Simulator {
   Cycle cycle_ = 0;
   std::uint64_t deadlock_events_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t lost_total_ = 0;    // dropped by fault reconfiguration
+  std::uint64_t fault_events_ = 0;  // schedule events applied
+  std::uint64_t lut_rebuilds_ = 0;  // fault-triggered retabulations
+  std::vector<fault::FaultEvent> fault_buf_;
+  std::vector<std::pair<deadlock::NodeId, deadlock::MsgId>> purge_buf_;
   bool probe_enabled_ = true;
 };
 

@@ -1,0 +1,48 @@
+#include "topology/fault_mask.hpp"
+
+namespace wormsim::topo {
+
+FaultMask::FaultMask(const KAryNCube& topo)
+    : topo_(&topo),
+      link_killed_(
+          static_cast<std::size_t>(topo.num_nodes()) * topo.num_channels(), 0),
+      node_dead_(topo.num_nodes(), 0) {}
+
+void FaultMask::set_link(NodeId node, ChannelId channel, bool killed) {
+  std::uint8_t& bit = link_killed_[index(node, channel)];
+  if ((bit != 0) == killed) return;
+  bit = killed ? 1 : 0;
+  if (killed) {
+    ++killed_links_;
+  } else {
+    --killed_links_;
+  }
+}
+
+void FaultMask::kill_link(NodeId node, ChannelId channel) {
+  set_link(node, channel, true);
+  // The reverse direction of the same physical link: the neighbor's
+  // output channel in the opposite direction of the same dimension.
+  set_link(topo_->neighbor(node, channel),
+           static_cast<ChannelId>(channel ^ 1u), true);
+}
+
+void FaultMask::restore_link(NodeId node, ChannelId channel) {
+  set_link(node, channel, false);
+  set_link(topo_->neighbor(node, channel),
+           static_cast<ChannelId>(channel ^ 1u), false);
+}
+
+void FaultMask::kill_node(NodeId node) {
+  if (node_dead_[node] != 0) return;
+  node_dead_[node] = 1;
+  ++dead_nodes_;
+}
+
+void FaultMask::restore_node(NodeId node) {
+  if (node_dead_[node] == 0) return;
+  node_dead_[node] = 0;
+  --dead_nodes_;
+}
+
+}  // namespace wormsim::topo

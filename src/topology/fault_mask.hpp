@@ -1,0 +1,64 @@
+// Dead-component mask over a k-ary n-cube: which physical links and
+// nodes have failed, queried by the routing-table rebuild and the
+// simulator's fault surgery.
+//
+// Raw link kills are always symmetric: killing output channel `c` of
+// `node` also kills the reverse direction (neighbor(node, c), c ^ 1),
+// modelling a cable fault that takes down both directions at once.
+// Node kills layer on top without touching the raw link bits, so
+// link_dead() reports a link dead while either endpoint node is dead
+// and restoring the node revives exactly the links that were not also
+// killed explicitly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/kary_ncube.hpp"
+
+namespace wormsim::topo {
+
+class FaultMask {
+ public:
+  explicit FaultMask(const KAryNCube& topo);
+
+  /// Kill/restore one physical link (both directions). Idempotent.
+  void kill_link(NodeId node, ChannelId channel);
+  void restore_link(NodeId node, ChannelId channel);
+  /// Kill/restore one node. Idempotent.
+  void kill_node(NodeId node);
+  void restore_node(NodeId node);
+
+  /// Raw kill bit of the directed link (node, channel).
+  bool link_killed(NodeId node, ChannelId channel) const noexcept {
+    return link_killed_[index(node, channel)] != 0;
+  }
+  bool node_dead(NodeId node) const noexcept { return node_dead_[node] != 0; }
+
+  /// Effective status: killed outright, or either endpoint node dead.
+  bool link_dead(NodeId node, ChannelId channel) const noexcept {
+    return link_killed_[index(node, channel)] != 0 || node_dead_[node] != 0 ||
+           node_dead_[topo_->neighbor(node, channel)] != 0;
+  }
+
+  bool any() const noexcept { return killed_links_ + dead_nodes_ > 0; }
+  /// Directed links with the raw kill bit set (2 per physical fault).
+  std::size_t killed_links() const noexcept { return killed_links_; }
+  std::size_t dead_nodes() const noexcept { return dead_nodes_; }
+
+  const KAryNCube& topology() const noexcept { return *topo_; }
+
+ private:
+  std::size_t index(NodeId node, ChannelId channel) const noexcept {
+    return static_cast<std::size_t>(node) * topo_->num_channels() + channel;
+  }
+  void set_link(NodeId node, ChannelId channel, bool killed);
+
+  const KAryNCube* topo_;
+  std::vector<std::uint8_t> link_killed_;  // [node * num_channels + c]
+  std::vector<std::uint8_t> node_dead_;
+  std::size_t killed_links_ = 0;
+  std::size_t dead_nodes_ = 0;
+};
+
+}  // namespace wormsim::topo

@@ -9,10 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <stdexcept>
 #include <tuple>
 #include <vector>
 
 #include "routing/routing.hpp"
+#include "topology/fault_mask.hpp"
 
 namespace wormsim::routing {
 namespace {
@@ -127,6 +129,179 @@ TEST(RoutingLut, ExactBudgetTabulates) {
       static_cast<std::size_t>(topo.num_nodes()) * topo.num_nodes();
   EXPECT_TRUE(RoutingLut(*fn, topo, pairs).tabulated());
   EXPECT_FALSE(RoutingLut(*fn, topo, pairs - 1).tabulated());
+}
+
+/// All (here, dst) routes of a LUT, for exact before/after comparison.
+std::vector<RouteResult> snapshot_routes(const RoutingLut& lut,
+                                         const KAryNCube& topo) {
+  std::vector<RouteResult> routes;
+  routes.reserve(static_cast<std::size_t>(topo.num_nodes()) *
+                 topo.num_nodes());
+  for (NodeId here = 0; here < topo.num_nodes(); ++here) {
+    for (NodeId dst = 0; dst < topo.num_nodes(); ++dst) {
+      RouteResult r;
+      if (here != dst) lut.route(here, dst, r);
+      routes.push_back(std::move(r));
+    }
+  }
+  return routes;
+}
+
+void expect_snapshots_equal(const std::vector<RouteResult>& expect,
+                            const std::vector<RouteResult>& got,
+                            const KAryNCube& topo, const char* label) {
+  ASSERT_EQ(expect.size(), got.size());
+  for (NodeId here = 0; here < topo.num_nodes(); ++here) {
+    for (NodeId dst = 0; dst < topo.num_nodes(); ++dst) {
+      const std::size_t i =
+          static_cast<std::size_t>(here) * topo.num_nodes() + dst;
+      expect_routes_equal(expect[i], got[i], here, dst, label);
+    }
+  }
+}
+
+/// rebuild() with no faults — null mask, an all-clear mask, or a mask
+/// whose faults were all restored — must reproduce the construction-
+/// time table bit-exactly for every algorithm, so a heal-and-rebuild
+/// cycle leaves memoization-free routing indistinguishable from a fresh
+/// simulator.
+TEST(RoutingLutRebuild, HealthyRebuildRestoresRoutesBitExact) {
+  const KAryNCube topo(4, 2);
+  for (const auto algo : {Algorithm::TFAR, Algorithm::DOR, Algorithm::Duato}) {
+    SCOPED_TRACE(algorithm_name(algo));
+    const auto fn = make_routing(algo, topo, 3);
+    RoutingLut lut(*fn, topo);
+    const auto original = snapshot_routes(lut, topo);
+
+    lut.rebuild(nullptr);
+    expect_snapshots_equal(original, snapshot_routes(lut, topo), topo,
+                           "rebuild(nullptr)");
+
+    topo::FaultMask clear(topo);
+    lut.rebuild(&clear);
+    expect_snapshots_equal(original, snapshot_routes(lut, topo), topo,
+                           "rebuild(all-clear)");
+  }
+
+  // Kill, rebuild around the fault, restore, rebuild again: the healthy
+  // table must come back bit-exact (TFAR only — the deterministic
+  // algorithms reject fault-aware rebuilds).
+  const auto fn = make_routing(Algorithm::TFAR, topo, 3);
+  RoutingLut lut(*fn, topo);
+  const auto original = snapshot_routes(lut, topo);
+  topo::FaultMask mask(topo);
+  mask.kill_link(0, 0);
+  lut.rebuild(&mask);
+  RouteResult degraded;
+  lut.route(0, topo.neighbor(0, 0), degraded);
+  EXPECT_EQ(degraded.useful_phys_mask & 1u, 0u);  // route bends around
+  mask.restore_link(0, 0);
+  lut.rebuild(&mask);
+  expect_snapshots_equal(original, snapshot_routes(lut, topo), topo,
+                         "restore-rebuild");
+}
+
+/// Fault-aware TFAR rebuild: no surviving route crosses a dead channel,
+/// every connected pair keeps a non-empty useful mask, pairs through a
+/// fully-severed cut report unreachable, and reachable() mirrors the
+/// useful masks.
+TEST(RoutingLutRebuild, TfarRoutesAvoidDeadComponents) {
+  const KAryNCube topo(4, 2);
+  const auto fn = make_routing(Algorithm::TFAR, topo, 3);
+  RoutingLut lut(*fn, topo);
+  topo::FaultMask mask(topo);
+  mask.kill_link(5, 0);
+  mask.kill_link(9, 3);
+  lut.rebuild(&mask);
+
+  RouteResult r;
+  for (NodeId here = 0; here < topo.num_nodes(); ++here) {
+    for (NodeId dst = 0; dst < topo.num_nodes(); ++dst) {
+      if (here == dst) continue;
+      lut.route(here, dst, r);
+      // Two link faults cannot disconnect this torus.
+      EXPECT_TRUE(lut.reachable(here, dst)) << here << "->" << dst;
+      ASSERT_FALSE(r.candidates.empty()) << here << "->" << dst;
+      for (const Candidate& c : r.candidates) {
+        EXPECT_FALSE(mask.link_dead(here, c.channel))
+            << here << "->" << dst << " via dead channel "
+            << static_cast<unsigned>(c.channel);
+      }
+    }
+  }
+}
+
+TEST(RoutingLutRebuild, SeveredNodeBecomesUnreachable) {
+  const KAryNCube topo(4, 1);  // ring 0-1-2-3
+  const auto fn = make_routing(Algorithm::TFAR, topo, 3);
+  RoutingLut lut(*fn, topo);
+  topo::FaultMask mask(topo);
+  mask.kill_link(0, 0);  // 0 <-> 1
+  mask.kill_link(0, 1);  // 0 <-> 3
+  lut.rebuild(&mask);
+
+  for (NodeId other = 1; other < 4; ++other) {
+    EXPECT_FALSE(lut.reachable(0, other));
+    EXPECT_FALSE(lut.reachable(other, 0));
+    RouteResult r;
+    lut.route(0, other, r);
+    EXPECT_TRUE(r.candidates.empty());
+  }
+  // The surviving 1-2-3 chain still routes (including the pair whose
+  // shortest healthy path ran through node 0).
+  EXPECT_TRUE(lut.reachable(1, 3));
+  RouteResult r;
+  lut.route(1, 3, r);
+  ASSERT_FALSE(r.candidates.empty());
+  EXPECT_TRUE(lut.reachable(2, 1));
+  EXPECT_TRUE(lut.reachable(1, 1));  // self stays trivially reachable
+}
+
+TEST(RoutingLutRebuild, DeadNodeUnreachableBothWaysUntilRestored) {
+  const KAryNCube topo(4, 2);
+  const auto fn = make_routing(Algorithm::TFAR, topo, 3);
+  RoutingLut lut(*fn, topo);
+  const auto original = snapshot_routes(lut, topo);
+  topo::FaultMask mask(topo);
+  mask.kill_node(6);
+  lut.rebuild(&mask);
+
+  for (NodeId other = 0; other < topo.num_nodes(); ++other) {
+    if (other == 6) continue;
+    EXPECT_FALSE(lut.reachable(6, other));
+    EXPECT_FALSE(lut.reachable(other, 6));
+    EXPECT_TRUE(lut.reachable(other, (other + 1) % topo.num_nodes() == 6
+                                         ? (other + 2) % topo.num_nodes()
+                                         : (other + 1) % topo.num_nodes()));
+    RouteResult r;
+    lut.route(other, 6, r);
+    EXPECT_TRUE(r.candidates.empty());
+  }
+
+  mask.restore_node(6);
+  lut.rebuild(&mask);
+  expect_snapshots_equal(original, snapshot_routes(lut, topo), topo,
+                         "node-restore-rebuild");
+}
+
+TEST(RoutingLutRebuild, RejectsUnsupportedModes) {
+  const KAryNCube topo(4, 2);
+  topo::FaultMask mask(topo);
+  mask.kill_link(0, 0);
+
+  // Passthrough (untabulated) LUTs cannot host fault-aware routes.
+  const auto tfar = make_routing(Algorithm::TFAR, topo, 3);
+  RoutingLut passthrough(*tfar, topo, /*max_entries=*/1);
+  ASSERT_FALSE(passthrough.tabulated());
+  EXPECT_NO_THROW(passthrough.rebuild(nullptr));
+  EXPECT_THROW(passthrough.rebuild(&mask), std::invalid_argument);
+
+  // Deterministic algorithms have no alternative paths to offer.
+  for (const auto algo : {Algorithm::DOR, Algorithm::Duato}) {
+    const auto fn = make_routing(algo, topo, 3);
+    RoutingLut lut(*fn, topo);
+    EXPECT_THROW(lut.rebuild(&mask), std::invalid_argument);
+  }
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "config/presets.hpp"
+#include "fault/schedule.hpp"
 #include "harness/sweep.hpp"
 #include "metrics/spatial.hpp"
 #include "obs/tracer.hpp"
@@ -299,6 +300,96 @@ INSTANTIATE_TEST_SUITE_P(Limiters, LockStep,
                            return std::string(
                                core::limiter_name(info.param));
                          });
+
+/// The fault subsystem at rest must be invisible: a sweep whose base
+/// config carries an empty schedule (no FaultManager at all) and one
+/// whose schedule only fires beyond the run horizon (manager wired in,
+/// per-cycle due() gate armed, routing LUT forced on both cores) must
+/// both emit the byte-identical CSV of the plain no-fault sweep, on
+/// either core and for any --jobs count.
+TEST(CoreEquivalence, FaultNoopKeepsSweepCsvByteIdentical) {
+  harness::SweepSpec spec;
+  spec.base = equivalence_base();
+  spec.limiters = {core::LimiterKind::None, core::LimiterKind::ALO};
+  spec.offered_loads = {0.1, 1.0};
+  spec.jobs = 1;
+
+  spec.base.sim.core = SimCore::Dense;
+  std::ostringstream reference;
+  harness::write_sweep_csv(reference, harness::run_sweep(spec));
+
+  const fault::FaultSchedule beyond_horizon(
+      {{std::uint64_t{1} << 40, fault::FaultKind::LinkKill, 0, 0}});
+  for (const auto core : {SimCore::Dense, SimCore::Active}) {
+    for (const unsigned jobs : {1u, 2u}) {
+      SCOPED_TRACE(std::string(sim_core_name(core)) + " jobs=" +
+                   std::to_string(jobs));
+      spec.base.sim.core = core;
+      spec.jobs = jobs;
+      spec.base.sim.faults = fault::FaultSchedule{};
+      std::ostringstream empty_csv;
+      harness::write_sweep_csv(empty_csv, harness::run_sweep(spec));
+      EXPECT_EQ(reference.str(), empty_csv.str());
+
+      spec.base.sim.faults = beyond_horizon;
+      std::ostringstream armed_csv;
+      harness::write_sweep_csv(armed_csv, harness::run_sweep(spec));
+      EXPECT_EQ(reference.str(), armed_csv.str());
+    }
+  }
+}
+
+/// Lock-step equivalence through live fault surgery: both cores take
+/// the same kills and restores mid-traffic and must agree on complete
+/// channel-level state, the lost-message count and the rebuild count at
+/// every comparison point.
+TEST(CoreEquivalence, LockStepAgreesThroughFaultTransients) {
+  const topo::KAryNCube topo(4, 2);
+  const fault::FaultSchedule schedule({
+      {400, fault::FaultKind::LinkKill, 5, 1},
+      {700, fault::FaultKind::NodeKill, 10, 0},
+      {1400, fault::FaultKind::LinkRestore, 5, 1},
+      {1800, fault::FaultKind::NodeRestore, 10, 0},
+  });
+  const auto make = [&](SimCore core) {
+    SimulatorConfig cfg = default_config();
+    cfg.core = core;
+    cfg.limiter.kind = core::LimiterKind::ALO;
+    cfg.faults = schedule;
+    traffic::WorkloadConfig wcfg;
+    wcfg.offered_flits_per_node_cycle = 1.1;  // well past saturation
+    wcfg.length.fixed = 16;
+    auto workload = std::make_unique<traffic::Workload>(topo, wcfg, 777);
+    return std::make_unique<Simulator>(topo, cfg, std::move(workload));
+  };
+  auto dense = make(SimCore::Dense);
+  auto active = make(SimCore::Active);
+
+  for (int block = 0; block < 250; ++block) {
+    for (int i = 0; i < 10; ++i) {
+      dense->step();
+      active->step();
+    }
+    const Cycle at = dense->cycle();
+    ASSERT_EQ(at, active->cycle());
+    expect_networks_equal(*dense, *active, at);
+    ASSERT_EQ(dense->total_delivered(), active->total_delivered());
+    ASSERT_EQ(dense->total_lost(), active->total_lost());
+    ASSERT_EQ(dense->messages_in_flight(), active->messages_in_flight());
+    ASSERT_EQ(dense->source_queue_total(), active->source_queue_total());
+    ASSERT_EQ(dense->recovery_pending(), active->recovery_pending());
+    ASSERT_EQ(dense->fault_events_applied(), active->fault_events_applied());
+    ASSERT_EQ(dense->lut_rebuilds(), active->lut_rebuilds());
+    std::string why;
+    ASSERT_TRUE(active->check_active_sets(&why)) << why;
+    ASSERT_TRUE(active->check_conservation(&why)) << why;
+    ASSERT_TRUE(active->check_fault_invariants(&why)) << why;
+    ASSERT_TRUE(dense->check_conservation(&why)) << why;
+    ASSERT_TRUE(dense->check_fault_invariants(&why)) << why;
+  }
+  EXPECT_EQ(dense->fault_events_applied(), 4u);
+  EXPECT_EQ(dense->lut_rebuilds(), 4u);
+}
 
 /// A mid-run offered-load change (the epoch path): dense re-polls
 /// naturally, the active core must tear down stale generation

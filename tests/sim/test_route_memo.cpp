@@ -11,7 +11,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "fault/schedule.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "sim_test_util.hpp"
@@ -179,6 +182,112 @@ TEST(RouteMemo, LockStepIdenticalToMemoOffAndDense) {
   EXPECT_GT(memo_on->scan_stats().route_memo_hits, 0u);
   EXPECT_EQ(memo_off->scan_stats().route_memo_hits, 0u);
   EXPECT_EQ(dense->scan_stats().route_memo_hits, 0u);
+}
+
+/// Fault surgery participates in the same epoch contract: marking a
+/// link dead (or alive again) changes its free-VC mask, so it must bump
+/// that link's epoch exactly like set_active, and a whole-table rebuild
+/// invalidates every memoized route via bump_all_epochs.
+TEST(LinkEpoch, DeadLinkTransitionsBumpLikeSetActive) {
+  const topo::KAryNCube topo(4, 2);
+  Network net(topo, small_params());
+  const LinkId l = net.net_link(2, 3);
+  std::vector<std::uint64_t> before(net.num_net_links());
+  for (LinkId i = 0; i < net.num_net_links(); ++i) {
+    before[i] = net.link_epoch(i);
+  }
+
+  net.set_link_dead(l, true);
+  EXPECT_EQ(net.free_vc_mask(net.link(l).src, net.link(l).src_channel), 0u);
+  net.set_link_dead(l, false);
+  for (LinkId i = 0; i < net.num_net_links(); ++i) {
+    EXPECT_EQ(net.link_epoch(i), before[i] + (i == l ? 2u : 0u))
+        << "link " << i;
+  }
+
+  net.bump_all_epochs();
+  for (LinkId i = 0; i < net.num_net_links(); ++i) {
+    EXPECT_EQ(net.link_epoch(i), before[i] + (i == l ? 3u : 1u))
+        << "link " << i;
+  }
+}
+
+/// The recovery-transient soak the epoch contract exists for: the same
+/// physical link dies and heals three times while the 1-VC network
+/// deadlocks repeatedly, so fault surgery, LUT rebuilds, route-memo
+/// flushes and deadlock recovery all interleave. The memoized core must
+/// stay bit-identical to the memo-off core and the dense reference
+/// throughout — a memo entry surviving a rebuild would diverge at the
+/// first stale route.
+TEST(RouteMemo, KillRestoreThroughRepeatedDeadlockEpisodes) {
+  const topo::KAryNCube topo(4, 2);
+  const fault::FaultSchedule schedule({
+      {300, fault::FaultKind::LinkKill, 6, 2},
+      {600, fault::FaultKind::LinkRestore, 6, 2},
+      {900, fault::FaultKind::LinkKill, 6, 2},
+      {1200, fault::FaultKind::LinkRestore, 6, 2},
+      {1500, fault::FaultKind::LinkKill, 6, 2},
+      {1800, fault::FaultKind::LinkRestore, 6, 2},
+  });
+  const auto make = [&](SimCore core, bool memo) {
+    SimulatorConfig cfg = default_config();
+    cfg.core = core;
+    cfg.fastpath.route_memo = memo;
+    cfg.limiter.kind = core::LimiterKind::None;
+    cfg.net.num_vcs = 1;  // deadlocks repeatedly past saturation
+    cfg.faults = schedule;
+    traffic::WorkloadConfig wcfg;
+    wcfg.offered_flits_per_node_cycle = 1.2;
+    wcfg.length.fixed = 16;
+    auto workload = std::make_unique<traffic::Workload>(topo, wcfg, 99);
+    return std::make_unique<Simulator>(topo, cfg, std::move(workload));
+  };
+  auto memo_on = make(SimCore::Active, true);
+  auto memo_off = make(SimCore::Active, false);
+  auto dense = make(SimCore::Dense, true);
+
+  for (int block = 0; block < 200; ++block) {
+    for (int i = 0; i < 10; ++i) {
+      memo_on->step();
+      memo_off->step();
+      dense->step();
+    }
+    const Cycle at = memo_on->cycle();
+    for (const Simulator* other : {memo_off.get(), dense.get()}) {
+      const Network& a = memo_on->network();
+      const Network& b = other->network();
+      for (LinkId l = 0; l < a.num_links(); ++l) {
+        ASSERT_EQ(a.link(l).active_vc_mask, b.link(l).active_vc_mask)
+            << "link " << l << " cycle " << at;
+        for (unsigned v = 0; v < a.vcs_on(l); ++v) {
+          const VcRef ref{l, static_cast<std::uint8_t>(v)};
+          ASSERT_EQ(a.vc(ref).msg, b.vc(ref).msg)
+              << "vc " << l << "/" << v << " cycle " << at;
+          ASSERT_EQ(a.vc(ref).occupancy, b.vc(ref).occupancy)
+              << "vc " << l << "/" << v << " cycle " << at;
+        }
+      }
+      ASSERT_EQ(memo_on->total_delivered(), other->total_delivered())
+          << "cycle " << at;
+      ASSERT_EQ(memo_on->total_lost(), other->total_lost())
+          << "cycle " << at;
+      ASSERT_EQ(memo_on->total_deadlock_detections(),
+                other->total_deadlock_detections())
+          << "cycle " << at;
+    }
+    std::string why;
+    ASSERT_TRUE(memo_on->check_fault_invariants(&why)) << why;
+  }
+
+  // The soak exercised what it claims: all six fault events applied
+  // (with a rebuild each), deadlock recovery fired across the episodes,
+  // and the memo answered real queries between the flushes.
+  EXPECT_EQ(memo_on->fault_events_applied(), 6u);
+  EXPECT_EQ(memo_on->lut_rebuilds(), 6u);
+  EXPECT_EQ(dense->fault_events_applied(), 6u);
+  EXPECT_GT(memo_on->total_deadlock_detections(), 3u);
+  EXPECT_GT(memo_on->scan_stats().route_memo_hits, 0u);
+  EXPECT_EQ(memo_off->scan_stats().route_memo_hits, 0u);
 }
 
 /// Memo accounting: hits only ever come from headers that blocked at

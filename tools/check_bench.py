@@ -20,6 +20,12 @@ Criteria keys are interpreted as follows:
                  smallest offered_flits_node_cycle must be >= threshold.
   saturation_speedup_min  -> active_speedup of the point with the
                  largest offered_flits_node_cycle must be >= threshold.
+  *_max       -> every point's `<stem>` field must be <= the threshold
+                 (e.g. recovery_cycles_max checks
+                 point["recovery_cycles"]).
+  *_min       -> every point's `<stem>` field must be >= the threshold
+                 (e.g. post_rebuild_cps_ratio_min checks
+                 point["post_rebuild_cps_ratio"]).
 
 Unknown criteria keys are an error: a renamed gate must not silently
 stop being enforced. Exits non-zero on any violation.
@@ -90,6 +96,26 @@ def check_file(path):
                 else:
                     print(f"check_bench: ok: {key}: {field} {value:.2f} "
                           f"<= {threshold} at load {load}")
+        elif key.endswith("_max") or key.endswith("_min"):
+            # Generic per-point bound: <stem>_max / <stem>_min against
+            # point["<stem>"]. Order matters: the named speedup keys and
+            # *_max_pct were already matched above.
+            is_max = key.endswith("_max")
+            field = key[: -len("_max")]
+            for point in points:
+                value = point.get(field)
+                load = point.get("offered_flits_node_cycle")
+                if value is None:
+                    rc |= fail(f"{key}: point at load {load} has no "
+                               f"{field} field")
+                elif (value > threshold) if is_max else (value < threshold):
+                    op = ">" if is_max else "<"
+                    rc |= fail(f"{key}: {field} {value} {op} {threshold} "
+                               f"at offered load {load}")
+                else:
+                    op = "<=" if is_max else ">="
+                    print(f"check_bench: ok: {key}: {field} {value} "
+                          f"{op} {threshold} at load {load}")
         else:
             rc |= fail(f"{path}: unknown criteria key '{key}'")
     return rc

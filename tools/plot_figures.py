@@ -38,9 +38,21 @@ import sys
 PALETTE = ["#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#a463f2", "#97bbf5"]
 
 
+def open_input(path, **kwargs):
+    """Open an input file, turning OS errors into a one-line message
+    instead of a traceback — bench outputs and telemetry are optional
+    artifacts that only exist after the corresponding run."""
+    try:
+        return open(path, **kwargs)
+    except OSError as e:
+        raise SystemExit(
+            f"{path}: {e.strerror or e} — this input is produced by a "
+            "bench/sweep run (see EXPERIMENTS.md); nothing to plot")
+
+
 def read_rows(path):
     rows = []
-    with open(path, newline="") as f:
+    with open_input(path, newline="") as f:
         header = None
         for raw in f:
             if not raw.strip() or raw.startswith("#"):
@@ -259,7 +271,7 @@ def json_at_path(obj, dotted):
 def read_telemetry(path):
     """Point records of a --metrics-out JSONL telemetry file."""
     records = []
-    with open(path) as f:
+    with open_input(path) as f:
         for i, line in enumerate(f, 1):
             if not line.strip():
                 continue
@@ -349,22 +361,31 @@ def main():
     ap.add_argument("--value", default=None,
                     help="heatmap cell value column (default: utilization "
                          "or queue_avg)")
+    ap.add_argument("--missing-ok", action="store_true",
+                    help="exit 0 with a note when the input is missing or "
+                         "empty (for scripts plotting optional artifacts)")
     args = ap.parse_args()
 
-    if args.heatmap:
-        if args.x is None:
-            args.x = "x"
-        if args.y is None:
-            args.y = "y"
-        svg = run_heatmap(args)
-    elif args.timeline:
-        svg = run_timeline(args)
-    else:
-        if args.x is None:
-            args.x = "offered_flits_node_cycle"
-        if args.y is None:
-            args.y = "latency_avg_cycles"
-        svg = line_mode(args)
+    try:
+        if args.heatmap:
+            if args.x is None:
+                args.x = "x"
+            if args.y is None:
+                args.y = "y"
+            svg = run_heatmap(args)
+        elif args.timeline:
+            svg = run_timeline(args)
+        else:
+            if args.x is None:
+                args.x = "offered_flits_node_cycle"
+            if args.y is None:
+                args.y = "latency_avg_cycles"
+            svg = line_mode(args)
+    except SystemExit as e:
+        if args.missing_ok:
+            print(f"skipping: {e}", file=sys.stderr)
+            return
+        raise
     out = args.output or args.input.rsplit(".", 1)[0] + ".svg"
     with open(out, "w") as f:
         f.write(svg)
