@@ -10,6 +10,10 @@
 //   --warmup/--measure/--drain, --k/--n/--vcs/--msg-len/--pattern/--seed
 //   --core dense|active   cycle-loop implementation (default: active;
 //                         results are bit-identical, only speed differs)
+//   --flow-control SCHEME wormhole (default) | credit | vct; credit adds
+//                         --credit-delay N return-latency cycles, vct
+//                         needs --buf >= the longest message
+
 //   --faults SPEC         fault schedule: a file path or a preset like
 //                         transient:2@5000+2000 (kill 2 random links at
 //                         cycle 5000, restore them 2000 cycles later)

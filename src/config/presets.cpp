@@ -1,6 +1,8 @@
 #include "config/presets.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "fault/schedule.hpp"
 #include "routing/routing_lut.hpp"
@@ -62,6 +64,20 @@ void validate(const SimConfig& cfg) {
   }
   if (cfg.protocol.measure == 0) {
     throw std::invalid_argument("measurement window must be non-empty");
+  }
+  if (cfg.sim.flow.scheme == sim::FlowControl::Vct) {
+    // Whole-packet admission: a packet longer than the buffer could
+    // never claim a network VC and would wedge its source forever.
+    const auto& len = cfg.workload.length;
+    const std::uint32_t longest =
+        len.kind == traffic::LengthDist::Kind::Bimodal
+            ? std::max(len.short_len, len.long_len)
+            : len.fixed;
+    if (longest > cfg.sim.net.buf_flits) {
+      throw std::invalid_argument(
+          "virtual cut-through needs buf_flits >= the longest message (" +
+          std::to_string(longest) + " flits)");
+    }
   }
   // NetworkParams and routing constraints are validated by their
   // constructors; trigger them early for a clear error site.

@@ -279,6 +279,11 @@ void apply_common_flags(config::SimConfig& cfg, const util::ArgParser& args) {
   if (auto c = args.get("core")) {
     cfg.sim.core = sim::parse_sim_core(*c);
   }
+  if (auto fc = args.get("flow-control")) {
+    cfg.sim.flow.scheme = sim::parse_flow_control(*fc);
+  }
+  cfg.sim.flow.credit_return_delay = static_cast<unsigned>(args.get_uint(
+      "credit-delay", cfg.sim.flow.credit_return_delay));
   cfg.sim.detection.threshold = static_cast<std::uint32_t>(
       args.get_uint("deadlock-threshold", cfg.sim.detection.threshold));
   cfg.protocol.warmup = args.get_uint("warmup", cfg.protocol.warmup);
@@ -331,6 +336,13 @@ std::string describe(const config::SimConfig& cfg) {
   // that embeds them) stay byte-identical to pre-fault-subsystem output.
   if (!cfg.sim.faults.empty()) {
     os << ", faults=" << cfg.sim.faults.size() << " events";
+  }
+  // Same convention for flow control: wormhole (the default) is silent.
+  if (cfg.sim.flow.scheme != sim::FlowControl::Wormhole) {
+    os << ", flow-control=" << sim::flow_control_name(cfg.sim.flow.scheme);
+    if (cfg.sim.flow.scheme == sim::FlowControl::Credit) {
+      os << " (credit-delay=" << cfg.sim.flow.credit_return_delay << ")";
+    }
   }
   return os.str();
 }

@@ -33,6 +33,10 @@ void emit_config(util::JsonWriter& w, const config::SimConfig& cfg) {
   w.field("seed", cfg.seed);
   w.field("fault_schedule_events",
           static_cast<std::uint64_t>(cfg.sim.faults.size()));
+  w.field("flow_control", sim::flow_control_name(cfg.sim.flow.scheme));
+  if (cfg.sim.flow.scheme == sim::FlowControl::Credit) {
+    w.field("credit_return_delay", cfg.sim.flow.credit_return_delay);
+  }
   w.end_object();
 }
 

@@ -88,6 +88,20 @@ Simulator::Simulator(const topo::KAryNCube& topo, const SimulatorConfig& cfg,
   if (memo_on_) route_memo_.resize(net_.num_vc_slots());
   static_dispatch_on_ = active && cfg_.fastpath.static_dispatch;
   resolve_limiter_dispatch();
+  // Flow-control scheme, resolved once like the limiter dispatch above.
+  // The dense core stays on the virtual interface so core equivalence
+  // doubles as a differential test of the fast dispatch.
+  flow_ = make_flow_control(cfg_.flow, net_.num_vc_slots());
+  fc_kind_ = flow_->kind();
+  credit_ = fc_kind_ == FlowControl::Credit
+                ? static_cast<CreditFlowControl*>(flow_.get())
+                : nullptr;
+  fc_virtual_ = !(active && cfg_.fastpath.fc_dispatch);
+  fc_tracks_ = flow_->tracks_flits();
+  fc_vetoes_ = flow_->veto_sends();
+  fc_admits_ = flow_->gates_admission();
+  if (credit_) credit_status_.bind(net_, *credit_);
+  fc_row_buf_.resize(topo_.num_channels());
   // Per-slot owning router node (the link's dst): a contiguous 4-byte
   // lookup in phase_route instead of a Link record load.
   vc_node_.resize(net_.num_vc_slots());
@@ -151,6 +165,13 @@ void Simulator::step() {
   scan_.scan_total +=
       2 * static_cast<std::uint64_t>(net_.num_net_links()) +
       3 * static_cast<std::uint64_t>(topo_.num_nodes());
+  if (fc_tracks_) {
+    if (fc_virtual_) {
+      flow_->begin_cycle(t);
+    } else if (credit_) {
+      credit_->begin_cycle(t);
+    }
+  }
   if (faults_ && faults_->due(t)) apply_faults(t);
   phase_generate(t);
   phase_arrivals(t);
@@ -179,6 +200,7 @@ void Simulator::step() {
     assert(check_active_sets(&why) && why.c_str());
     assert(check_conservation(&why) && why.c_str());
     assert(check_fault_invariants(&why) && why.c_str());
+    assert(check_flow_control(&why) && why.c_str());
 #endif
   }
   ++cycle_;
@@ -292,6 +314,13 @@ void Simulator::eject_node(NodeId node, Cycle t) {
     --u.occupancy;
     u.last_activity = t;
     m.last_progress = t;
+    // Ejected flits return credits like forwarded ones — except from an
+    // injection VC, which sits outside the credit loop (a recovery
+    // re-injection at the absorb node can eject straight from one when
+    // that node happens to be the destination).
+    if (!net_.is_injection(port.src.link)) {
+      fc_on_drained(net_.vc_flat_index(port.src), t);
+    }
     collector_.on_flits_ejected(t, 1);
     if (timeseries_) timeseries_->on_flits_ejected(t, 1);
     if (spatial_) spatial_->on_ejected_flit(node);
@@ -425,10 +454,11 @@ void Simulator::phase_route(Cycle t) {
       v.probed = true;
       const auto cond =
           static_dispatch_on_
-              ? core::evaluate_alo_row(net_.free_mask_row(node),
+              ? core::evaluate_alo_row(fc_status_row(node),
                                        net_.params().num_vcs,
                                        route->useful_phys_mask)
-              : core::evaluate_alo(net_, node, route->useful_phys_mask);
+              : core::evaluate_alo(fc_channel_status(), node,
+                                   route->useful_phys_mask);
       collector_.on_probe(t, cond.all_useful_partially_free,
                           cond.any_useful_completely_free);
       if (tracer_) {
@@ -439,7 +469,11 @@ void Simulator::phase_route(Cycle t) {
       }
     }
     std::optional<routing::Pick> pick;
-    if (!still_blocked) {
+    // VCT's whole-packet admission gates the claim itself; a failed
+    // admission leaves the header blocked exactly like a failed
+    // selection (and the memo's still-blocked proof stays exact: the
+    // admission verdict is a constant of the tenancy).
+    if (!still_blocked && fc_admit(v.msg_length, net_.params().buf_flits)) {
       if (static_dispatch_on_) {
         pick = selector_.select(*route, net_.free_mask_row(node),
                                 alloc_rr_[node]);
@@ -518,22 +552,33 @@ void Simulator::transmit_link(LinkId l, Cycle t, unsigned vcs, unsigned cap) {
   // room. rr_next stays in [0, vcs), so the rotation is an
   // increment-with-wrap instead of a modulo.
   VcState* const row = net_.vc_row(l);
+  const std::size_t slot_base = static_cast<std::size_t>(l) * vcs;
   std::uint8_t vcn = link.rr_next;
   for (unsigned j = 0; j < vcs; ++j, vcn = vcn + 1u == vcs ? 0 : vcn + 1u) {
     if (!(link.active_vc_mask & (1u << vcn))) continue;
     [[maybe_unused]] const VcRef ref{l, vcn};
     VcState& w = row[vcn];
+    // Cheap structural checks first; the scheme veto runs last so it is
+    // consulted only when a send is otherwise possible (every scheme's
+    // may_send implies occupancy < cap, so the physical-space check is
+    // a pure pre-filter, not a semantic change).
     if (w.occupancy >= cap) continue;
     if (!w.upstream.valid()) continue;
     VcState& u = net_.vc(w.upstream);
     if (u.buffered() == 0) continue;
+    if (!fc_may_send(slot_base + vcn, w.occupancy, cap)) continue;
     assert(u.out_kind == VcState::OutKind::Vc && u.out == ref);
     const VcRef up = w.upstream;  // transmit may clear it when the tail leaves
+    const MsgId msg = w.msg;
     const bool freed = net_.transmit_flit(up, w.msg_length, t);
-    if (freed && tracer_) {
-      tracer_->record(t, obs::EventKind::VcRelease, up.link, up.vc, 0, w.msg);
+    fc_on_sent(slot_base + vcn, t);
+    if (!net_.is_injection(up.link)) {
+      fc_on_drained(net_.vc_flat_index(up), t);
     }
-    pool_[w.msg].last_progress = t;
+    if (freed && tracer_) {
+      tracer_->record(t, obs::EventKind::VcRelease, up.link, up.vc, 0, msg);
+    }
+    pool_[msg].last_progress = t;
     link.rr_next = vcn + 1u == vcs ? 0 : static_cast<std::uint8_t>(vcn + 1u);
     break;  // one flit per physical link per cycle
   }
@@ -635,7 +680,7 @@ void Simulator::inject_node(NodeId node, Cycle t) {
     // Custom limiters (LimiterFast::Virtual) take the interface path.
     bool allowed;
     if (static_dispatch_on_ && limiter_fast_ != LimiterFast::Virtual) {
-      const std::uint8_t* row = net_.free_mask_row(node);
+      const std::uint8_t* row = fc_status_row(node);
       const unsigned vcs = net_.params().num_vcs;
       switch (limiter_fast_) {
         case LimiterFast::None:
@@ -660,7 +705,7 @@ void Simulator::inject_node(NodeId node, Cycle t) {
       }
     } else {
       route_at(node, pm.dst, route_buf_);
-      allowed = limiter_->allow(req, net_);
+      allowed = limiter_->allow(req, fc_channel_status());
     }
     if (!allowed) {
       if (tracer_) {
@@ -778,6 +823,9 @@ void Simulator::teardown_worm(MsgId id, Cycle t) {
     net_.absorb_drop(cur.link, id);
     net_.vc(cur).pending_route = false;  // lazily dropped from the list
     net_.force_free(cur);
+    // The slot's buffered and in-flight flits just vanished: restore
+    // its full credit stock and invalidate returns still on the wire.
+    fc_on_reset(net_.vc_flat_index(cur));
     if (tracer_) {
       tracer_->record(t, obs::EventKind::VcRelease, cur.link, cur.vc, 0, id);
     }

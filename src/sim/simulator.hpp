@@ -52,6 +52,7 @@
 #include "routing/routing.hpp"
 #include "routing/routing_lut.hpp"
 #include "routing/selection.hpp"
+#include "sim/flow_control.hpp"
 #include "sim/message.hpp"
 #include "sim/network.hpp"
 #include "traffic/workload.hpp"
@@ -83,6 +84,11 @@ struct FastPathConfig {
   /// Custom limiters installed via set_limiter() fall back to the
   /// virtual path automatically.
   bool static_dispatch = true;
+  /// Resolve the flow-control scheme dispatch once per simulator:
+  /// Wormhole/VCT short-circuit to the inline occupancy test and Credit
+  /// is called non-virtually. Off = every gate and hook goes through
+  /// the FlowControlScheme interface (the dense core's reference path).
+  bool fc_dispatch = true;
 };
 
 struct SimulatorConfig {
@@ -98,6 +104,9 @@ struct SimulatorConfig {
   /// Non-empty schedules require TFAR routing and a tabulable network —
   /// reconfiguration routes around failures by rebuilding the LUT.
   fault::FaultSchedule faults{};
+  /// Flow-control scheme gating flit advance and VC admission
+  /// (default: the paper's wormhole model).
+  FlowControlConfig flow{};
   SimCore core = SimCore::Active;
   FastPathConfig fastpath{};
   std::uint64_t seed = 1;
@@ -260,6 +269,14 @@ class Simulator {
   /// queued, recovering or ejecting traffic, and no live in-network
   /// message targets a dead destination. Same reporting convention.
   bool check_fault_invariants(std::string* why = nullptr) const;
+  /// Flow-control invariants: no buffer over/underflow in any scheme;
+  /// under Credit additionally per-slot credit conservation (credits
+  /// consumed == occupancy + returns on the wire). Same convention.
+  bool check_flow_control(std::string* why = nullptr) const {
+    return flow_->check(net_, why);
+  }
+
+  const FlowControlScheme& flow_control() const noexcept { return *flow_; }
 
   std::size_t messages_in_flight() const noexcept { return active_.size(); }
   std::size_t source_queue_len(NodeId node) const noexcept {
@@ -376,6 +393,82 @@ class Simulator {
   /// (by concrete type, not kind() — user subclasses may reuse a kind
   /// tag) and recompute which fast paths are enabled.
   void resolve_limiter_dispatch();
+
+  // --- Flow-control gates and hooks (see flow_control.hpp). The
+  // fast-dispatch forms reduce to the pre-interface inline code for
+  // Wormhole/VCT and a non-virtual call for Credit; with fc_virtual_
+  // (dense core, or fc_dispatch off) everything goes through the
+  // interface — which is what makes the core-equivalence tests a
+  // differential check of this dispatch layer too.
+
+  /// May one more flit advance toward VC slot `slot`? The caller has
+  /// already checked occupancy < cap, so schemes whose gate is exactly
+  /// that test (veto_sends() false, resolved once into fc_vetoes_) are
+  /// never consulted — in either dispatch mode.
+  bool fc_may_send(std::size_t slot, std::uint8_t occupancy,
+                   unsigned cap) const {
+    if (!fc_vetoes_) return true;
+    if (fc_virtual_) return flow_->may_send(slot, occupancy, cap);
+    if (credit_) return credit_->may_send(slot, occupancy, cap);
+    return occupancy < cap;
+  }
+  /// May a header claim a free downstream VC for this packet? Schemes
+  /// that admit unconditionally (gates_admission() false, resolved
+  /// once into fc_admits_) skip the per-claim call entirely.
+  bool fc_admit(std::uint32_t msg_length, unsigned cap) const {
+    if (!fc_admits_) return true;
+    if (fc_virtual_) return flow_->admit(msg_length, cap);
+    return fc_kind_ != FlowControl::Vct || msg_length <= cap;
+  }
+  // The per-flit event hooks are gated on fc_tracks_ (resolved once
+  // from FlowControlScheme::tracks_flits): stateless schemes never pay
+  // a virtual call per flit, in either dispatch mode. Only the
+  // send/admit *decisions* stay virtual under fc_virtual_.
+  void fc_on_sent(std::size_t slot, Cycle t) {
+    if (!fc_tracks_) return;
+    if (fc_virtual_) {
+      flow_->on_flit_sent(slot, t);
+    } else if (credit_) {
+      credit_->on_flit_sent(slot, t);
+    }
+  }
+  void fc_on_drained(std::size_t slot, Cycle t) {
+    if (!fc_tracks_) return;
+    if (fc_virtual_) {
+      flow_->on_flit_drained(slot, t);
+    } else if (credit_) {
+      credit_->on_flit_drained(slot, t);
+    }
+  }
+  void fc_on_reset(std::size_t slot) {
+    if (!fc_tracks_) return;
+    if (fc_virtual_) {
+      flow_->on_slot_reset(slot);
+    } else if (credit_) {
+      credit_->on_slot_reset(slot);
+    }
+  }
+  /// Free-mask row the injection limiters and the Figure-2 probe read:
+  /// the raw Network register, except under Credit where VCs with
+  /// outstanding credits are masked out (a channel is only completely
+  /// free once its credits came home). Selection does NOT use this —
+  /// claimability is a tenancy property in every scheme, which is what
+  /// keeps the route memo's epoch keys exact.
+  const std::uint8_t* fc_status_row(NodeId node) {
+    if (!credit_) return net_.free_mask_row(node);
+    const unsigned chans = topo_.num_channels();
+    const unsigned vcs = net_.params().num_vcs;
+    credit_->filter_free_row(
+        net_.free_mask_row(node),
+        static_cast<std::size_t>(net_.net_link(node, 0)) * vcs, chans, vcs,
+        fc_row_buf_.data());
+    return fc_row_buf_.data();
+  }
+  /// ChannelStatus the virtual limiter path reads (same filtering).
+  const core::ChannelStatus& fc_channel_status() const noexcept {
+    return credit_ ? static_cast<const core::ChannelStatus&>(credit_status_)
+                   : static_cast<const core::ChannelStatus&>(net_);
+  }
 
   void enroll_for_routing(VcRef ref);
   void start_injection(NodeId node, unsigned inj_channel, MsgId id, Cycle t);
@@ -496,6 +589,20 @@ class Simulator {
   LimiterFast limiter_fast_ = LimiterFast::Virtual;
   bool memo_on_ = false;            // active core && fastpath.route_memo
   bool static_dispatch_on_ = false; // active core && fastpath.static_dispatch
+
+  // --- Flow control (resolved once at construction) --------------------
+  std::unique_ptr<FlowControlScheme> flow_;
+  /// Non-null iff the scheme is Credit (set in either dispatch mode —
+  /// the fast path calls the same object non-virtually, so both modes
+  /// mutate identical state and stay bit-identical).
+  CreditFlowControl* credit_ = nullptr;
+  FlowControl fc_kind_ = FlowControl::Wormhole;
+  bool fc_virtual_ = true;  // dense core, or fastpath.fc_dispatch off
+  bool fc_tracks_ = false;  // scheme consumes the per-flit event stream
+  bool fc_vetoes_ = true;   // scheme's may_send can veto past occupancy
+  bool fc_admits_ = true;   // scheme's admit can reject a VC claim
+  CreditChannelStatus credit_status_;
+  std::vector<std::uint8_t> fc_row_buf_;  // fc_status_row scratch
 
   // --- Active-set state (maintained in both cores where the cost is
   // O(1) per transition; consumed only by the active core) -------------

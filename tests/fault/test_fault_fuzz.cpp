@@ -1,19 +1,24 @@
 // Seeded fuzz over the fault subsystem, mirroring the active-set
-// fuzzer: ~100 randomized short runs on small tori, each with a random
-// kill/restore schedule applied mid-flight, asserting every 64 cycles
-// that flit/message conservation holds (with the lost-to-faults term),
-// that the active-set bookkeeping stays coherent through the surgery,
-// and that the fault invariants hold (dead links hold no tenants and
-// advertise no free VCs, dead nodes have empty queues and idle ports,
-// no active message targets a dead destination).
+// fuzzer: ~100 randomized short runs on small tori per flow-control
+// scheme, each with a random kill/restore schedule applied mid-flight,
+// asserting every 64 cycles that flit/message conservation holds (with
+// the lost-to-faults term), that the active-set bookkeeping stays
+// coherent through the surgery, that the fault invariants hold (dead
+// links hold no tenants and advertise no free VCs, dead nodes have
+// empty queues and idle ports, no active message targets a dead
+// destination), and — under credit flow control — that fault teardown
+// neither strands nor double-frees credits.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "../sim/sim_test_util.hpp"
+#include "../support/invariants.hpp"
 #include "fault/schedule.hpp"
+#include "sim/flow_control.hpp"
 
 namespace wormsim::sim {
 namespace {
@@ -29,12 +34,14 @@ struct FuzzConfig {
   traffic::PatternKind pattern;
   traffic::ProcessKind process;
   core::LimiterKind limiter;
+  FlowControl scheme;
+  unsigned credit_delay;
   fault::FaultSchedule schedule;
 };
 
 constexpr std::uint64_t kRunCycles = 1024;  // 16 blocks x 64 cycles
 
-FuzzConfig draw_config(std::mt19937_64& rng) {
+FuzzConfig draw_config(std::mt19937_64& rng, FlowControl scheme) {
   const auto pick = [&](auto... vals) {
     using T = std::common_type_t<decltype(vals)...>;
     const T options[] = {vals...};
@@ -57,6 +64,8 @@ FuzzConfig draw_config(std::mt19937_64& rng) {
                    traffic::ProcessKind::Bursty);
   f.limiter = pick(core::LimiterKind::None, core::LimiterKind::ALO,
                    core::LimiterKind::LF, core::LimiterKind::DRIL);
+  f.scheme = scheme;
+  f.credit_delay = pick(0u, 1u, 2u, 5u);
 
   // Random kill/restore pairs: 1-4 faulty components, each killed at a
   // random cycle inside the run and restored later with probability
@@ -93,6 +102,12 @@ std::unique_ptr<Simulator> build(const FuzzConfig& f, std::uint64_t seed) {
   cfg.core = SimCore::Active;
   cfg.net.num_vcs = f.vcs;
   cfg.limiter.kind = f.limiter;
+  cfg.flow.scheme = f.scheme;
+  cfg.flow.credit_return_delay = f.credit_delay;
+  if (f.scheme == FlowControl::Vct) {
+    // Whole-packet admission needs message-deep buffers.
+    cfg.net.buf_flits = std::max(cfg.net.buf_flits, f.msg_len);
+  }
   cfg.faults = f.schedule;
   traffic::WorkloadConfig wcfg;
   wcfg.pattern = f.pattern;
@@ -103,36 +118,37 @@ std::unique_ptr<Simulator> build(const FuzzConfig& f, std::uint64_t seed) {
   return std::make_unique<Simulator>(topo, cfg, std::move(workload));
 }
 
+/// Param encodes flow-control scheme (param / 100) and seed index
+/// (param % 100): the full fault matrix runs against wormhole, credit
+/// and virtual cut-through alike.
 class FaultFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(FaultFuzz, InvariantsHoldThroughRandomSchedules) {
-  const std::uint64_t seed = 0xFA017E57u + static_cast<unsigned>(GetParam());
+  const auto scheme = static_cast<FlowControl>(GetParam() / 100);
+  const int index = GetParam() % 100;
+  const std::uint64_t seed = 0xFA017E57u + static_cast<unsigned>(index);
   std::mt19937_64 rng(seed);
-  const FuzzConfig f = draw_config(rng);
-  SCOPED_TRACE("k=" + std::to_string(f.k) + " n=" + std::to_string(f.n) +
+  const FuzzConfig f = draw_config(rng, scheme);
+  SCOPED_TRACE("scheme=" + std::string(flow_control_name(f.scheme)) +
+               " k=" + std::to_string(f.k) + " n=" + std::to_string(f.n) +
                " vcs=" + std::to_string(f.vcs) +
                " offered=" + std::to_string(f.offered) +
                " len=" + std::to_string(f.msg_len) + " pattern=" +
                std::string(traffic::pattern_name(f.pattern)) + " process=" +
                std::string(traffic::process_name(f.process)) + " limiter=" +
                std::string(core::limiter_name(f.limiter)) +
+               " credit-delay=" + std::to_string(f.credit_delay) +
                " fault_events=" + std::to_string(f.schedule.size()));
   auto sim = build(f, seed);
 
-  std::string why;
   for (std::uint64_t block = 0; block < kRunCycles / 64; ++block) {
     sim->step_cycles(64);
-    ASSERT_TRUE(sim->check_active_sets(&why)) << why;
-    ASSERT_TRUE(sim->check_conservation(&why)) << why;
-    ASSERT_TRUE(sim->check_fault_invariants(&why)) << why;
+    ASSERT_TRUE(testing::check_all_invariants(*sim));
   }
 
   // Aggregate conservation through the public counters, including the
   // lost-to-faults term.
-  const auto r = sim->collector().finish(sim->topology().num_nodes());
-  EXPECT_EQ(r.messages_generated,
-            r.messages_delivered + sim->messages_in_flight() +
-                sim->source_queue_total() + sim->total_lost());
+  EXPECT_TRUE(testing::check_aggregate_conservation(*sim));
   // The schedule's past-due events were all consumed.
   const fault::FaultManager* mgr = sim->fault_manager();
   ASSERT_NE(mgr, nullptr);
@@ -143,7 +159,8 @@ TEST_P(FaultFuzz, InvariantsHoldThroughRandomSchedules) {
   EXPECT_EQ(mgr->events_applied(), due);
 }
 
-INSTANTIATE_TEST_SUITE_P(HundredSeeds, FaultFuzz, ::testing::Range(0, 100));
+INSTANTIATE_TEST_SUITE_P(HundredSeedsPerScheme, FaultFuzz,
+                         ::testing::Range(0, 300));
 
 /// A restored network keeps working: kill every fault in the schedule,
 /// restore them all, then check traffic still delivers end to end.
@@ -169,10 +186,7 @@ TEST(FaultFuzz, TrafficFlowsAfterFullRestore) {
   const std::uint64_t delivered_at_restore = sim.total_delivered();
   sim.step_cycles(600);
   EXPECT_GT(sim.total_delivered(), delivered_at_restore);
-  std::string why;
-  EXPECT_TRUE(sim.check_active_sets(&why)) << why;
-  EXPECT_TRUE(sim.check_conservation(&why)) << why;
-  EXPECT_TRUE(sim.check_fault_invariants(&why)) << why;
+  EXPECT_TRUE(testing::check_all_invariants(sim));
 }
 
 }  // namespace

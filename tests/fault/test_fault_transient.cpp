@@ -3,21 +3,27 @@
 // in. The network must ride through the reconfiguration transient and
 // settle back to a steady-state accepted throughput comparable to the
 // pre-fault level — the testable core of the ISSUE-6 headline sweep.
+// Parametrized over the flow-control schemes: credit backpressure and
+// VCT admission must survive the same surgery deadlock-free.
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <string>
 
 #include "../sim/sim_test_util.hpp"
+#include "../support/invariants.hpp"
 #include "fault/schedule.hpp"
 #include "metrics/timeseries.hpp"
+#include "sim/flow_control.hpp"
 
 namespace wormsim::sim {
 namespace {
 
 using testing::default_config;
 
-TEST(FaultTransientSoak, BurstyThroughputRecoversAfterLinkKills) {
+class FaultTransientSoak : public ::testing::TestWithParam<FlowControl> {};
+
+TEST_P(FaultTransientSoak, BurstyThroughputRecoversAfterLinkKills) {
   constexpr std::uint64_t kKillCycle = 3000;
   constexpr std::uint64_t kSoakCycles = 20000;
   constexpr std::uint64_t kInterval = 500;
@@ -26,6 +32,10 @@ TEST(FaultTransientSoak, BurstyThroughputRecoversAfterLinkKills) {
   SimulatorConfig cfg = default_config();
   cfg.core = SimCore::Active;
   cfg.limiter.kind = core::LimiterKind::ALO;
+  cfg.flow.scheme = GetParam();
+  if (GetParam() == FlowControl::Vct) {
+    cfg.net.buf_flits = 16;  // whole-packet admission needs deep buffers
+  }
   cfg.faults = fault::make_transient(topo, 2, kKillCycle, 0, 0xB5E5);
   traffic::WorkloadConfig wcfg;
   wcfg.process = traffic::ProcessKind::Bursty;
@@ -38,10 +48,7 @@ TEST(FaultTransientSoak, BurstyThroughputRecoversAfterLinkKills) {
   sim.step_cycles(kSoakCycles);
   ASSERT_EQ(sim.fault_events_applied(), 2u);
   ASSERT_EQ(sim.lut_rebuilds(), 1u);
-  std::string why;
-  ASSERT_TRUE(sim.check_active_sets(&why)) << why;
-  ASSERT_TRUE(sim.check_conservation(&why)) << why;
-  ASSERT_TRUE(sim.check_fault_invariants(&why)) << why;
+  ASSERT_TRUE(testing::check_all_invariants(sim));
 
   const metrics::TimeSeries* ts = sim.timeseries();
   ASSERT_NE(ts, nullptr);
@@ -70,6 +77,15 @@ TEST(FaultTransientSoak, BurstyThroughputRecoversAfterLinkKills) {
       << "degraded steady state " << post
       << " fell more than 20% below pre-fault throughput " << pre;
 }
+
+INSTANTIATE_TEST_SUITE_P(Schemes, FaultTransientSoak,
+                         ::testing::Values(FlowControl::Wormhole,
+                                           FlowControl::Credit,
+                                           FlowControl::Vct),
+                         [](const auto& info) {
+                           return std::string(
+                               flow_control_name(info.param));
+                         });
 
 }  // namespace
 }  // namespace wormsim::sim

@@ -9,6 +9,7 @@
 #include <random>
 #include <string>
 
+#include "../support/invariants.hpp"
 #include "sim_test_util.hpp"
 
 namespace wormsim::sim {
@@ -90,11 +91,9 @@ TEST_P(ActiveSetFuzz, InvariantsHoldUnderRandomConfig) {
                (f.mutate_load ? " +load-mutation" : ""));
   auto sim = build(f, seed);
 
-  std::string why;
   for (int block = 0; block < 12; ++block) {
     sim->step_cycles(100);
-    ASSERT_TRUE(sim->check_active_sets(&why)) << why;
-    ASSERT_TRUE(sim->check_conservation(&why)) << why;
+    ASSERT_TRUE(testing::check_all_invariants(*sim));
     if (f.mutate_load && block == 5) {
       // Cross the epoch boundary mid-flight: stale generation hints must
       // be torn down, not serviced.
@@ -102,10 +101,7 @@ TEST_P(ActiveSetFuzz, InvariantsHoldUnderRandomConfig) {
     }
   }
   // Aggregate conservation, visible through the public counters too.
-  const auto r = sim->collector().finish(sim->topology().num_nodes());
-  EXPECT_EQ(r.messages_generated,
-            r.messages_delivered + sim->messages_in_flight() +
-                sim->source_queue_total());
+  EXPECT_TRUE(testing::check_aggregate_conservation(*sim));
 }
 
 INSTANTIATE_TEST_SUITE_P(HundredSeeds, ActiveSetFuzz,

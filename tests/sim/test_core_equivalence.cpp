@@ -12,11 +12,13 @@
 #include <tuple>
 #include <vector>
 
+#include "../support/invariants.hpp"
 #include "config/presets.hpp"
 #include "fault/schedule.hpp"
 #include "harness/sweep.hpp"
 #include "metrics/spatial.hpp"
 #include "obs/tracer.hpp"
+#include "sim/flow_control.hpp"
 #include "sim_test_util.hpp"
 
 namespace wormsim::sim {
@@ -75,6 +77,8 @@ void expect_results_identical(const metrics::SimResult& d,
   // active-set diagnostic, so it must match across cores too.
   EXPECT_EQ(d.avg_active_links, a.avg_active_links);
 }
+
+void expect_networks_equal(const Simulator& ds, const Simulator& as, Cycle at);
 
 /// The full differential matrix the PR promises: every limitation
 /// mechanism under three traffic patterns at a low, a near-saturation
@@ -152,8 +156,10 @@ TEST(CoreEquivalence, FastPathTogglesKeepSweepCsvByteIdentical) {
       {"lut-off", {.routing_lut = false}},
       {"memo-off", {.route_memo = false}},
       {"dispatch-off", {.static_dispatch = false}},
+      {"fc-dispatch-off", {.fc_dispatch = false}},
       {"all-off",
-       {.routing_lut = false, .route_memo = false, .static_dispatch = false}},
+       {.routing_lut = false, .route_memo = false, .static_dispatch = false,
+        .fc_dispatch = false}},
   };
   spec.base.sim.core = SimCore::Active;
   for (const auto& t : toggles) {
@@ -164,6 +170,242 @@ TEST(CoreEquivalence, FastPathTogglesKeepSweepCsvByteIdentical) {
     EXPECT_EQ(reference.str(), csv.str());
   }
 }
+
+/// Sweep CSV captured from the pre-flow-control-refactor tree (commit
+/// 1a11c95) for the exact configuration below: equivalence_base(), all
+/// four limiters, loads {0.1, 1.0}, serial sweep on the dense core.
+/// The FlowControlScheme extraction promises the default wormhole
+/// scheme is byte-identical to the fused pre-refactor channel logic;
+/// this string is the proof anchor — it must never be regenerated to
+/// make a refactor pass.
+constexpr const char* kWormholeGoldenCsv =
+    "mechanism,offered_flits_node_cycle,latency_avg_cycles,"
+    "latency_sd_cycles,latency_p99_cycles,accepted_flits_node_cycle,"
+    "deadlock_pct,avg_queue_len,fully_drained,saturated\n"
+    "none,0.1,30.64231738,6.605701123,47,0.0989375,0,0,1,0\n"
+    "none,1,414.6392016,253.9850793,1145.5,0.670890625,3.313911143,"
+    "1384.65,0,1\n"
+    "alo,0.1,30.83957219,6.563220794,47.66666667,0.092234375,0,0,1,0\n"
+    "alo,1,298.2652809,159.7969833,752,0.762109375,0,970.4444444,1,1\n"
+    "lf,0.1,31.0719603,6.811702299,50,0.101734375,0,0,1,0\n"
+    "lf,1,355.2577475,212.3022723,1005,0.733390625,0,1278.125,0,1\n"
+    "dril,0.1,31.18537859,6.400032254,48.33333333,0.0976875,0,0,1,0\n"
+    "dril,1,338.1130166,312.0642251,1433,0.71309375,0,1393.1,0,1\n";
+
+harness::SweepSpec golden_sweep_spec() {
+  harness::SweepSpec spec;
+  spec.base = equivalence_base();
+  spec.limiters = {core::LimiterKind::None, core::LimiterKind::ALO,
+                   core::LimiterKind::LF, core::LimiterKind::DRIL};
+  spec.offered_loads = {0.1, 1.0};
+  spec.jobs = 1;
+  return spec;
+}
+
+std::string sweep_csv(const harness::SweepSpec& spec) {
+  std::ostringstream csv;
+  harness::write_sweep_csv(csv, harness::run_sweep(spec));
+  return csv.str();
+}
+
+/// The tentpole guarantee: wormhole-through-the-interface reproduces
+/// the pre-refactor sweep byte-for-byte on every core, with the
+/// flow-control fast-path dispatch on and off, and under any --jobs
+/// count. Any diff here means the interface extraction changed
+/// behavior, which it is never allowed to do.
+TEST(FlowControl, WormholeViaInterfaceMatchesPreRefactorGolden) {
+  harness::SweepSpec spec = golden_sweep_spec();
+  for (const auto core : {SimCore::Dense, SimCore::Active}) {
+    for (const bool fc_dispatch : {true, false}) {
+      for (const unsigned jobs : {1u, 4u}) {
+        SCOPED_TRACE(std::string(sim_core_name(core)) +
+                     (fc_dispatch ? " fc-dispatch" : " fc-virtual") +
+                     " jobs=" + std::to_string(jobs));
+        spec.base.sim.core = core;
+        spec.base.sim.fastpath.fc_dispatch = fc_dispatch;
+        spec.jobs = jobs;
+        EXPECT_EQ(kWormholeGoldenCsv, sweep_csv(spec));
+      }
+    }
+  }
+}
+
+/// Credit-based flow control with zero return latency is wormhole: the
+/// credit counter then equals the receiver occupancy the wormhole gate
+/// reads directly, so the schemes must produce the byte-identical CSV
+/// — including the credit bookkeeping, generation tags and teardown
+/// resets running hot underneath.
+TEST(FlowControl, CreditZeroDelayIsByteIdenticalToWormhole) {
+  harness::SweepSpec spec = golden_sweep_spec();
+  spec.base.sim.flow.scheme = FlowControl::Credit;
+  spec.base.sim.flow.credit_return_delay = 0;
+  for (const auto core : {SimCore::Dense, SimCore::Active}) {
+    SCOPED_TRACE(sim_core_name(core));
+    spec.base.sim.core = core;
+    EXPECT_EQ(kWormholeGoldenCsv, sweep_csv(spec));
+  }
+}
+
+/// With buffers at least one whole message deep, virtual cut-through's
+/// whole-packet admission test always passes exactly when wormhole's
+/// free-VC claim does (a free VC has occupancy zero), so the two
+/// schemes coincide — byte-identical CSVs at buf_flits = msg_len.
+TEST(FlowControl, VctIsByteIdenticalToWormholeAtDeepBuffers) {
+  harness::SweepSpec spec = golden_sweep_spec();
+  spec.base.sim.net.buf_flits = 16;  // == message length
+  spec.base.sim.core = SimCore::Dense;
+  const std::string reference = sweep_csv(spec);
+
+  spec.base.sim.flow.scheme = FlowControl::Vct;
+  for (const auto core : {SimCore::Dense, SimCore::Active}) {
+    SCOPED_TRACE(sim_core_name(core));
+    spec.base.sim.core = core;
+    EXPECT_EQ(reference, sweep_csv(spec));
+  }
+}
+
+/// The dense-vs-active and serial-vs-parallel equivalence contracts
+/// extend to the alternative schemes: credit (with a real return
+/// latency) and VCT each emit one CSV, independent of core, dispatch
+/// mode and job count.
+TEST(FlowControl, AlternativeSchemesAgreeAcrossCoresAndJobs) {
+  struct Scheme {
+    const char* label;
+    FlowControl scheme;
+    unsigned credit_delay;
+    std::uint32_t buf_flits;
+  };
+  const Scheme schemes[] = {
+      {"credit-delay2", FlowControl::Credit, 2, 4},
+      {"vct", FlowControl::Vct, 0, 16},
+  };
+  for (const auto& s : schemes) {
+    SCOPED_TRACE(s.label);
+    harness::SweepSpec spec = golden_sweep_spec();
+    spec.base.sim.flow.scheme = s.scheme;
+    spec.base.sim.flow.credit_return_delay = s.credit_delay;
+    spec.base.sim.net.buf_flits = s.buf_flits;
+    spec.base.sim.core = SimCore::Dense;
+    const std::string reference = sweep_csv(spec);
+    for (const auto core : {SimCore::Dense, SimCore::Active}) {
+      for (const unsigned jobs : {1u, 4u}) {
+        SCOPED_TRACE(std::string(sim_core_name(core)) + " jobs=" +
+                     std::to_string(jobs));
+        spec.base.sim.core = core;
+        spec.jobs = jobs;
+        EXPECT_EQ(reference, sweep_csv(spec));
+      }
+    }
+  }
+}
+
+/// Cross-scheme statistical sanity at low load: every scheme drains
+/// completely and delivers every generated message; generation is
+/// workload-side, so the delivered counts agree across schemes; and
+/// the latency ordering is physical — credit's non-zero return latency
+/// can only slow streaming down relative to ideal wormhole credits,
+/// and VCT with message-deep buffers can never be slower than it.
+TEST(FlowControl, SchemesConserveAndOrderLatencyAtLowLoad) {
+  struct Run {
+    const char* label;
+    FlowControl scheme;
+    unsigned credit_delay;
+    std::uint32_t buf_flits;
+    metrics::SimResult result;
+  };
+  Run runs[] = {
+      {"wormhole", FlowControl::Wormhole, 0, 4, {}},
+      {"credit-delay2", FlowControl::Credit, 2, 4, {}},
+      {"vct", FlowControl::Vct, 0, 16, {}},
+  };
+  for (auto& r : runs) {
+    SCOPED_TRACE(r.label);
+    config::SimConfig cfg = equivalence_base();
+    cfg.workload.offered_flits_per_node_cycle = 0.1;
+    cfg.sim.flow.scheme = r.scheme;
+    cfg.sim.flow.credit_return_delay = r.credit_delay;
+    cfg.sim.net.buf_flits = r.buf_flits;
+    r.result = config::run_experiment(cfg);
+    // Full drain: every message generated in the measurement window
+    // was delivered (generation keeps running during the drain phase,
+    // so the total counters intentionally disagree).
+    EXPECT_TRUE(r.result.fully_drained);
+    EXPECT_EQ(r.result.measured_generated, r.result.measured_delivered);
+    EXPECT_EQ(r.result.deadlock_detections, 0u);
+  }
+  // Same seed, same workload: generation is independent of the scheme,
+  // so the delivered measured cohort is identical in size.
+  EXPECT_EQ(runs[0].result.measured_delivered,
+            runs[1].result.measured_delivered);
+  EXPECT_EQ(runs[0].result.measured_delivered,
+            runs[2].result.measured_delivered);
+  // wormhole <= credit: delayed credit returns only ever add stalls.
+  EXPECT_LE(runs[0].result.latency_mean, runs[1].result.latency_mean);
+  // vct (deep buffers) ~<= wormhole (shallow): whole-message buffers
+  // remove downstream backpressure bubbles. At this load contention is
+  // rare, so the schemes nearly tie — allow sub-cycle noise, but catch
+  // any systematic slowdown.
+  EXPECT_LE(runs[2].result.latency_mean, runs[0].result.latency_mean + 0.5);
+}
+
+/// Lock-step microscope over the schemes themselves: for each scheme
+/// the dense core (always routed through the virtual FlowControlScheme
+/// interface) and the active core (devirtualized fast path) must agree
+/// on complete channel-level state every cycle, with the full shared
+/// invariant battery — including credit conservation — green on both.
+class FlowControlLockStep : public ::testing::TestWithParam<FlowControl> {};
+
+TEST_P(FlowControlLockStep, ChannelStateAgreesEveryCycle) {
+  const topo::KAryNCube topo(4, 2);
+  const auto make = [&](SimCore core) {
+    SimulatorConfig cfg = default_config();
+    cfg.core = core;
+    cfg.limiter.kind = core::LimiterKind::ALO;
+    cfg.flow.scheme = GetParam();
+    if (GetParam() == FlowControl::Vct) {
+      cfg.net.buf_flits = 16;  // admission needs message-deep buffers
+    }
+    traffic::WorkloadConfig wcfg;
+    wcfg.offered_flits_per_node_cycle = 1.1;  // well past saturation
+    wcfg.length.fixed = 16;
+    auto workload = std::make_unique<traffic::Workload>(topo, wcfg, 901);
+    return std::make_unique<Simulator>(topo, cfg, std::move(workload));
+  };
+  auto dense = make(SimCore::Dense);
+  auto active = make(SimCore::Active);
+
+  for (int block = 0; block < 200; ++block) {
+    for (int i = 0; i < 10; ++i) {
+      dense->step();
+      active->step();
+    }
+    const Cycle at = dense->cycle();
+    ASSERT_EQ(at, active->cycle());
+    expect_networks_equal(*dense, *active, at);
+    ASSERT_EQ(dense->total_delivered(), active->total_delivered());
+    ASSERT_EQ(dense->messages_in_flight(), active->messages_in_flight());
+    ASSERT_EQ(dense->source_queue_total(), active->source_queue_total());
+    ASSERT_EQ(dense->total_deadlock_detections(),
+              active->total_deadlock_detections());
+    ASSERT_TRUE(testing::check_all_invariants(*dense));
+    ASSERT_TRUE(testing::check_all_invariants(*active));
+  }
+  // The devirtualized path must account credit messages identically.
+  ASSERT_EQ(dense->flow_control().credit_messages(),
+            active->flow_control().credit_messages());
+  if (GetParam() == FlowControl::Credit) {
+    EXPECT_GT(dense->flow_control().credit_messages(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, FlowControlLockStep,
+                         ::testing::Values(FlowControl::Wormhole,
+                                           FlowControl::Credit,
+                                           FlowControl::Vct),
+                         [](const auto& info) {
+                           return std::string(
+                               flow_control_name(info.param));
+                         });
 
 /// Observability must observe, never participate: attaching a tracer
 /// and spatial metrics to a run cannot change a single result field on
@@ -342,8 +584,12 @@ TEST(CoreEquivalence, FaultNoopKeepsSweepCsvByteIdentical) {
 /// Lock-step equivalence through live fault surgery: both cores take
 /// the same kills and restores mid-traffic and must agree on complete
 /// channel-level state, the lost-message count and the rebuild count at
-/// every comparison point.
-TEST(CoreEquivalence, LockStepAgreesThroughFaultTransients) {
+/// every comparison point. Parametrized over the flow-control schemes
+/// so fault teardown is exercised against credit bookkeeping and VCT
+/// admission too.
+class FaultLockStep : public ::testing::TestWithParam<FlowControl> {};
+
+TEST_P(FaultLockStep, AgreesThroughFaultTransients) {
   const topo::KAryNCube topo(4, 2);
   const fault::FaultSchedule schedule({
       {400, fault::FaultKind::LinkKill, 5, 1},
@@ -355,6 +601,10 @@ TEST(CoreEquivalence, LockStepAgreesThroughFaultTransients) {
     SimulatorConfig cfg = default_config();
     cfg.core = core;
     cfg.limiter.kind = core::LimiterKind::ALO;
+    cfg.flow.scheme = GetParam();
+    if (GetParam() == FlowControl::Vct) {
+      cfg.net.buf_flits = 16;  // admission needs message-deep buffers
+    }
     cfg.faults = schedule;
     traffic::WorkloadConfig wcfg;
     wcfg.offered_flits_per_node_cycle = 1.1;  // well past saturation
@@ -380,16 +630,21 @@ TEST(CoreEquivalence, LockStepAgreesThroughFaultTransients) {
     ASSERT_EQ(dense->recovery_pending(), active->recovery_pending());
     ASSERT_EQ(dense->fault_events_applied(), active->fault_events_applied());
     ASSERT_EQ(dense->lut_rebuilds(), active->lut_rebuilds());
-    std::string why;
-    ASSERT_TRUE(active->check_active_sets(&why)) << why;
-    ASSERT_TRUE(active->check_conservation(&why)) << why;
-    ASSERT_TRUE(active->check_fault_invariants(&why)) << why;
-    ASSERT_TRUE(dense->check_conservation(&why)) << why;
-    ASSERT_TRUE(dense->check_fault_invariants(&why)) << why;
+    ASSERT_TRUE(testing::check_all_invariants(*dense));
+    ASSERT_TRUE(testing::check_all_invariants(*active));
   }
   EXPECT_EQ(dense->fault_events_applied(), 4u);
   EXPECT_EQ(dense->lut_rebuilds(), 4u);
 }
+
+INSTANTIATE_TEST_SUITE_P(Schemes, FaultLockStep,
+                         ::testing::Values(FlowControl::Wormhole,
+                                           FlowControl::Credit,
+                                           FlowControl::Vct),
+                         [](const auto& info) {
+                           return std::string(
+                               flow_control_name(info.param));
+                         });
 
 /// A mid-run offered-load change (the epoch path): dense re-polls
 /// naturally, the active core must tear down stale generation
