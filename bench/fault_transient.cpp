@@ -162,7 +162,8 @@ int run_transient_json(const char* path) {
   char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
-      "{\n  \"bench\": \"fault_transient\",\n"
+      "{\n  \"schema\": \"wormsim.bench/1\",\n"
+      "  \"bench\": \"fault_transient\",\n"
       "  \"config\": \"ALO FAST point: 8-ary 2-cube (64 nodes), uniform, "
       "16-flit messages, load 1.0, 2 links killed mid-measure, best of %d "
       "runs for cps\",\n"

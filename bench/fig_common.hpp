@@ -20,6 +20,15 @@
 //   --log-level LEVEL     stderr verbosity (error|warn|info|debug);
 //                         WORMSIM_LOG sets the default
 //   --metrics-out FILE    JSONL telemetry, one record per sweep point
+//                         (with latency histogram + saturation-onset
+//                         verdicts from the online statistics engine)
+//   --timeseries-out FILE wormsim.timeseries/1 JSONL: one record per
+//                         recording window of every sweep point
+//   --online-window N     online recording-window width in cycles
+//                         (default 256)
+//   --profile [N]         per-phase cycle-loop self-profiler, timing
+//                         every N-th cycle (bare flag: 64); results are
+//                         wall-clock and live under telemetry "perf"
 //   --trace FILE          Chrome trace-event JSON (open in Perfetto)
 //   --spatial-out PREFIX  per-channel/per-node heatmap CSVs from one
 //                         extra instrumented run (--spatial-load,

@@ -2,26 +2,33 @@
 # Regenerates bench_output.txt: every figure/ablation/micro bench at
 # full paper scale (8-ary 3-cube). Takes on the order of an hour on one
 # core. Sweep benches also drop JSONL telemetry (one record per sweep
-# point plus a summary) into bench_telemetry/ so throughput and
+# point plus a summary) and a wormsim.timeseries/1 windowed-series
+# stream into bench_telemetry/ so throughput, saturation-onset and
 # skip-ratio diagnostics can be compared across machines and commits.
 set -u
 cd "$(dirname "$0")"
 mkdir -p bench_telemetry
 status=0
+# The gate checker validates itself before it is trusted with any
+# real bench JSON.
+python3 tools/check_bench.py --self-test || status=1
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   name=$(basename "$b")
   echo "===== $b"
   case "$name" in
     fig01*|fig05*|fig06*|fig07*|fig08*|fig09*|fig10*|ablation_avoidance)
-      # Standard sweep benches: collect per-point JSONL telemetry.
-      "$b" --metrics-out "bench_telemetry/$name.jsonl"
+      # Standard sweep benches: collect per-point JSONL telemetry plus
+      # the windowed time series (histograms + saturation detector on).
+      "$b" --metrics-out "bench_telemetry/$name.jsonl" \
+           --timeseries-out "bench_telemetry/$name.timeseries.jsonl"
       ;;
     fault_transient)
       # Degraded-operation demo (telemetry + spatial CSVs of the faulty
       # network), then the gated recovery-transient JSON, re-validated
       # the same way as the micro_mechanism gates.
       "$b" --metrics-out "bench_telemetry/$name.jsonl" \
+           --timeseries-out "bench_telemetry/$name.timeseries.jsonl" \
            --spatial-out "bench_telemetry/$name" \
            --spatial-load 1.0 --spatial-limiter alo
       "$b" --json bench_telemetry/fault_transient.json || status=1
@@ -32,6 +39,8 @@ for b in build/bench/*; do
       # Google-benchmark suite, then the gated JSON modes. Each JSON is
       # re-validated against its embedded criteria block so a perf
       # regression fails the whole run, not just one loop iteration.
+      # obs_overhead carries the online-statistics overhead gates
+      # (off A/A <= 2%, histograms+timeseries on <= 5%).
       "$b"
       "$b" --hotpath-json bench_telemetry/hotpath.json || status=1
       "$b" --obs-overhead-json bench_telemetry/obs_overhead.json || status=1

@@ -120,8 +120,10 @@ metrics::SimResult run_experiment(const SimConfig& cfg,
   auto simulator = build_simulator(cfg);
   simulator->set_tracer(hooks.tracer);
   simulator->set_spatial(hooks.spatial);
+  simulator->set_online(hooks.online);
   metrics::SimResult r = simulator->run(cfg.protocol);
   simulator->finish_spatial();
+  simulator->finish_online();
   return r;
 }
 

@@ -37,12 +37,13 @@ void validate(const SimConfig& cfg);
 /// Build a ready-to-run Simulator (topology + workload wired up).
 std::unique_ptr<sim::Simulator> build_simulator(const SimConfig& cfg);
 
-/// Optional observers to attach to a run. Both are borrowed (caller
+/// Optional observers to attach to a run. All are borrowed (caller
 /// keeps ownership) and may be null; null hooks leave the simulator's
 /// hot path untouched.
 struct RunHooks {
   obs::Tracer* tracer = nullptr;
   metrics::SpatialMetrics* spatial = nullptr;
+  metrics::OnlineStats* online = nullptr;
 };
 
 /// Convenience: build, run the protocol, return the result.

@@ -54,7 +54,9 @@ class ProgressMeter {
 
   void on_done(const GridPoint& p, const metrics::SimResult& r) {
     ++done_;
-    if (!enabled_) return;
+    // Progress is purely informational: skip even the formatting work
+    // when the leveled logger would drop the line (--log-level warn).
+    if (!enabled_ || !obs::log_enabled(obs::LogLevel::Info)) return;
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
@@ -131,8 +133,19 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
       spec.tracer->begin_point(static_cast<std::uint32_t>(i),
                                point_label(grid[i]));
     }
+    // Per-point hooks copy: the online recorder is per-simulation
+    // state, so each task attaches its own (the shared tracer/spatial
+    // observers are internally synchronized, OnlineStats is not).
+    config::RunHooks task_hooks = hooks;
+    std::shared_ptr<metrics::OnlineStats> online;
+    if (spec.online) {
+      online = std::make_shared<metrics::OnlineStats>(
+          topo::KAryNCube(cfg.k, cfg.n).num_nodes(), spec.online_config);
+      task_hooks.online = online.get();
+    }
     SweepPoint point{grid[i].limiter, grid[i].offered,
-                     config::run_experiment(cfg, hooks)};
+                     config::run_experiment(cfg, task_hooks),
+                     std::move(online)};
     if (spec.tracer) {
       spec.tracer->end_point(static_cast<std::uint32_t>(i),
                              point.result.total_cycles);

@@ -20,11 +20,13 @@
 
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "config/presets.hpp"
 #include "metrics/collector.hpp"
+#include "metrics/online/online_stats.hpp"
 #include "metrics/sweep_stats.hpp"
 #include "obs/tracer.hpp"
 #include "util/stats.hpp"
@@ -36,6 +38,9 @@ struct SweepPoint {
   core::LimiterKind limiter;
   double offered;
   metrics::SimResult result;
+  /// Per-point streaming statistics (latency histogram, windowed time
+  /// series, saturation verdict); null unless SweepSpec::online was set.
+  std::shared_ptr<metrics::OnlineStats> online;
 };
 
 struct SweepSpec {
@@ -60,6 +65,13 @@ struct SweepSpec {
   /// Emit a "[done/total] mechanism @ load ... eta" line on stderr
   /// after every point (obs::logf at Info level).
   bool progress = false;
+  /// Attach a per-point metrics::OnlineStats (streaming histograms,
+  /// windowed time series, saturation detector) configured by
+  /// `online_config`. Results land in SweepPoint::online. All recorded
+  /// quantities are integers derived from simulation state, so
+  /// telemetry built from them is byte-identical at any `jobs`.
+  bool online = false;
+  metrics::OnlineConfig online_config{};
 };
 
 /// Run every (limiter, load) combination; each point uses a fresh

@@ -1,6 +1,7 @@
 #include "harness/telemetry.hpp"
 
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 
@@ -68,9 +69,53 @@ void emit_result(util::JsonWriter& w, const metrics::SimResult& r) {
   w.end_object();
 }
 
+/// Deterministic online-statistics sections. Emitted BEFORE "perf":
+/// consumers strip everything from the "perf" key to end of line when
+/// comparing records across job counts, and these sections are exact.
+void emit_online(util::JsonWriter& w, const metrics::OnlineStats& online) {
+  const metrics::LogHistogram& h = online.latency_hist();
+  w.key("latency_hist");
+  w.begin_object();
+  w.field("count", h.count());
+  w.field("p50", h.quantile(0.50));
+  w.field("p90", h.quantile(0.90));
+  w.field("p99", h.quantile(0.99));
+  w.field("p999", h.quantile(0.999));
+  w.field("max", h.max_value());
+  w.key("buckets");
+  w.begin_array();
+  h.for_each_bucket([&](const metrics::LogHistogram::Bucket& b) {
+    w.begin_array();
+    w.value(b.lo);
+    w.value(b.hi);
+    w.value(b.count);
+    w.end_array();
+  });
+  w.end_array();
+  w.end_object();
+
+  std::uint64_t saturating = 0;
+  for (const auto& win : online.windows())
+    if (win.saturating) ++saturating;
+  w.key("saturation");
+  w.begin_object();
+  w.field("saturated", online.saturated());
+  w.key("onset_cycle");
+  if (online.onset_cycle())
+    w.value(*online.onset_cycle());
+  else
+    w.value_null();
+  w.field("windows", static_cast<std::uint64_t>(online.windows().size()));
+  w.field("saturating_windows", saturating);
+  w.field("window_cycles", online.config().window_cycles);
+  w.end_object();
+}
+
 /// Wall-clock-dependent diagnostics, quarantined under "perf" so the
 /// rest of a record is reproducible bit-for-bit for a fixed seed.
-void emit_perf(util::JsonWriter& w, const metrics::SimResult& r) {
+/// `online` (nullable) contributes the phase-profiler attribution.
+void emit_perf(util::JsonWriter& w, const metrics::SimResult& r,
+               const metrics::OnlineStats* online) {
   w.key("perf");
   w.begin_object();
   w.field("wall_seconds", r.wall_seconds);
@@ -79,7 +124,34 @@ void emit_perf(util::JsonWriter& w, const metrics::SimResult& r) {
   w.field("avg_active_links", r.avg_active_links);
   w.field("avg_active_nodes", r.avg_active_nodes);
   w.field("route_memo_hit_rate", r.route_memo_hit_rate);
+  if (online && online->profile_enabled()) {
+    const metrics::PhaseProfiler& prof = online->profiler();
+    w.key("profile");
+    w.begin_object();
+    w.field("sampled_cycles", prof.sampled_cycles());
+    w.field("total_ns", prof.total_ns());
+    w.key("phase_ns");
+    w.begin_object();
+    for (std::size_t p = 0; p < metrics::kPhaseCount; ++p) {
+      const auto phase = static_cast<metrics::Phase>(p);
+      w.field(metrics::phase_name(phase), prof.phase_ns(phase));
+    }
+    w.end_object();
+    w.end_object();
+  }
   w.end_object();
+}
+
+/// Smallest offered load the detector flagged for `limiter`; nullopt
+/// when no point of that mechanism saturated (or none carried stats).
+std::optional<double> saturation_load(const std::vector<SweepPoint>& points,
+                                      core::LimiterKind limiter) {
+  std::optional<double> load;
+  for (const SweepPoint& p : points) {
+    if (p.limiter != limiter || !p.online || !p.online->saturated()) continue;
+    if (!load || p.offered < *load) load = p.offered;
+  }
+  return load;
 }
 
 }  // namespace
@@ -102,16 +174,32 @@ void write_sweep_telemetry(std::ostream& out, const SweepSpec& spec,
     cfg.seed = util::derive_stream_seed(spec.base.seed, i);
     emit_config(w, cfg);
     emit_result(w, p.result);
-    emit_perf(w, p.result);
+    if (p.online) emit_online(w, *p.online);
+    emit_perf(w, p.result, p.online.get());
     w.end_object();
     out << "\n";
   }
+
+  bool any_online = false;
+  for (const SweepPoint& p : points) any_online |= p.online != nullptr;
 
   util::JsonWriter w(out);
   w.begin_object();
   w.field("schema", kTelemetrySchema);
   w.field("kind", "summary");
   w.field("points", static_cast<std::uint64_t>(points.size()));
+  if (any_online) {
+    w.key("saturation_load");
+    w.begin_object();
+    for (const auto limiter : spec.limiters) {
+      w.key(core::limiter_name(limiter));
+      if (const auto load = saturation_load(points, limiter))
+        w.value(*load);
+      else
+        w.value_null();
+    }
+    w.end_object();
+  }
   if (stats) {
     w.field("simulations", stats->simulations);
     w.field("jobs", stats->jobs);
@@ -130,6 +218,64 @@ void write_sweep_telemetry(std::ostream& out, const SweepSpec& spec,
     w.field("events_dropped", spec.tracer->events_dropped());
     w.end_object();
   }
+  w.end_object();
+  out << "\n";
+}
+
+void write_sweep_timeseries(std::ostream& out, const SweepSpec& spec,
+                            const std::vector<SweepPoint>& points) {
+  std::uint64_t total_windows = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    if (!p.online) continue;
+    const std::uint32_t nodes = p.online->num_nodes();
+    for (std::size_t j = 0; j < p.online->windows().size(); ++j) {
+      const metrics::Window& win = p.online->windows()[j];
+      ++total_windows;
+      util::JsonWriter w(out);
+      w.begin_object();
+      w.field("schema", kTimeseriesSchema);
+      w.field("kind", "window");
+      w.field("point", static_cast<std::uint64_t>(i));
+      w.field("mechanism", core::limiter_name(p.limiter));
+      w.field("offered", p.offered);
+      w.field("window", static_cast<std::uint64_t>(j));
+      w.field("start_cycle", win.start_cycle);
+      w.field("cycles", win.cycles);
+      w.field("offered_flits", win.offered_flits);
+      w.field("accepted_flits", win.accepted_flits);
+      const double denom =
+          static_cast<double>(win.cycles) * static_cast<double>(nodes);
+      w.field("offered_flits_node_cycle",
+              denom > 0 ? static_cast<double>(win.offered_flits) / denom : 0.0);
+      w.field("accepted_flits_node_cycle",
+              denom > 0 ? static_cast<double>(win.accepted_flits) / denom
+                        : 0.0);
+      w.field("injected", win.injected);
+      w.field("delivered", win.delivered);
+      w.field("deadlocks", win.deadlocks);
+      w.field("credit_messages", win.credit_messages);
+      w.field("in_flight_flits", win.end.in_flight_flits);
+      w.field("blocked_headers", win.end.blocked_headers);
+      w.field("free_vcs", win.end.free_vcs);
+      w.field("total_vcs", win.end.total_vcs);
+      w.field("free_vc_fraction", win.free_vc_fraction());
+      w.field("queue_total", win.end.queue_total);
+      w.field("latency_count", win.latency_count);
+      w.field("latency_p99", win.latency_p99);
+      w.field("saturating", win.saturating);
+      w.end_object();
+      out << "\n";
+    }
+  }
+
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", kTimeseriesSchema);
+  w.field("kind", "summary");
+  w.field("points", static_cast<std::uint64_t>(points.size()));
+  w.field("windows", total_windows);
+  w.field("window_cycles", spec.online_config.window_cycles);
   w.end_object();
   out << "\n";
 }
@@ -168,10 +314,18 @@ void capture_spatial(const config::SimConfig& base, core::LimiterKind limiter,
 
 ObsSession::ObsSession(const util::ArgParser& args)
     : metrics_path_(args.get_string("metrics-out", "")),
+      timeseries_path_(args.get_string("timeseries-out", "")),
       trace_path_(args.get_string("trace", "")),
       spatial_prefix_(args.get_string("spatial-out", "")),
       spatial_limiter_(args.get_string("spatial-limiter", "none")),
-      spatial_load_(args.get_double("spatial-load", 1.2)) {
+      spatial_load_(args.get_double("spatial-load", 1.2)),
+      online_window_(args.get_uint("online-window", 256)),
+      profile_period_(0) {
+  if (args.has("profile")) {
+    // Bare "--profile" parses as the string "true": default period 64.
+    const std::string v = args.get_string("profile", "true");
+    profile_period_ = v == "true" ? 64 : std::stoull(v);
+  }
   if (!trace_path_.empty() || !metrics_path_.empty()) {
     tracer_ = std::make_unique<obs::Tracer>(
         static_cast<std::size_t>(args.get_uint(
@@ -181,7 +335,14 @@ ObsSession::ObsSession(const util::ArgParser& args)
 
 ObsSession::~ObsSession() = default;
 
-void ObsSession::attach(SweepSpec& spec) { spec.tracer = tracer_.get(); }
+void ObsSession::attach(SweepSpec& spec) {
+  spec.tracer = tracer_.get();
+  if (!metrics_path_.empty() || !timeseries_path_.empty()) {
+    spec.online = true;
+    spec.online_config.window_cycles = online_window_;
+    spec.online_config.profile_period = profile_period_;
+  }
+}
 
 void ObsSession::finish(const SweepSpec& spec,
                         const std::vector<SweepPoint>& points,
@@ -192,6 +353,12 @@ void ObsSession::finish(const SweepSpec& spec,
     write_sweep_telemetry(out, spec, points, stats);
     obs::logf(obs::LogLevel::Info, "wrote %s (%zu point records)\n",
               metrics_path_.c_str(), points.size());
+  }
+  if (!timeseries_path_.empty()) {
+    std::ofstream out(timeseries_path_);
+    if (!out) throw std::runtime_error("cannot open " + timeseries_path_);
+    write_sweep_timeseries(out, spec, points);
+    obs::logf(obs::LogLevel::Info, "wrote %s\n", timeseries_path_.c_str());
   }
   if (!trace_path_.empty() && tracer_) {
     std::ofstream out(trace_path_);

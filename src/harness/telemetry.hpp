@@ -10,9 +10,20 @@
 // under the "perf" key so consumers (and the determinism test) can
 // strip them wholesale.
 //
+// `write_sweep_timeseries` emits the companion `wormsim.timeseries/1`
+// stream: one "window" record per (point, recording window) from the
+// per-point OnlineStats, plus a trailing summary. Every field is an
+// integer derived from simulation state, so the file is byte-identical
+// for a fixed seed at any --jobs count. docs/TELEMETRY.md documents
+// both schemas field by field.
+//
 // `ObsSession` bundles the observability command-line surface shared
 // by every bench/example:
 //   --metrics-out FILE     JSONL telemetry (one record per point)
+//   --timeseries-out FILE  wormsim.timeseries/1 JSONL (windowed series)
+//   --online-window N      recording-window width in cycles (default 256)
+//   --profile [N]          per-phase cycle-loop profiler, sampling every
+//                          N cycles (default 64); reported under "perf"
 //   --trace FILE           Chrome trace-event JSON (Perfetto-loadable)
 //   --trace-capacity N     per-thread tracer ring capacity (default 64k)
 //   --spatial-out PREFIX   after the sweep, run one instrumented
@@ -20,6 +31,12 @@
 //                          PREFIX_nodes.csv, PREFIX_vc_occupancy.csv
 //   --spatial-load X       offered load for that run (default 1.2)
 //   --spatial-limiter M    mechanism for that run (default none)
+//
+// Telemetry (--metrics-out) or timeseries (--timeseries-out) enable the
+// per-point online statistics: point records gain "latency_hist" (the
+// streaming log-bucketed histogram) and "saturation" (the onset
+// detector's verdict), and the summary gains per-mechanism
+// "saturation_load" — the smallest offered load the detector flagged.
 #pragma once
 
 #include <iosfwd>
@@ -32,14 +49,23 @@
 
 namespace wormsim::harness {
 
-inline constexpr std::string_view kTelemetrySchema = "wormsim.telemetry/1";
+inline constexpr std::string_view kTelemetrySchema = "wormsim.telemetry/2";
+inline constexpr std::string_view kTimeseriesSchema = "wormsim.timeseries/1";
 
 /// One "point" JSONL record per sweep point (index order), then one
 /// "summary" record. `stats` and `spec.tracer` may be null; their
-/// sections are omitted accordingly.
+/// sections are omitted accordingly. Points carrying OnlineStats gain
+/// "latency_hist"/"saturation" sections (emitted before "perf": they
+/// are deterministic, "perf" is the volatile tail).
 void write_sweep_telemetry(std::ostream& out, const SweepSpec& spec,
                            const std::vector<SweepPoint>& points,
                            const metrics::SweepStats* stats);
+
+/// One `wormsim.timeseries/1` "window" JSONL record per recording
+/// window of every point carrying OnlineStats, then one "summary"
+/// record. Deterministic for a fixed seed at any --jobs count.
+void write_sweep_timeseries(std::ostream& out, const SweepSpec& spec,
+                            const std::vector<SweepPoint>& points);
 
 /// Run one instrumented simulation of `base` (limiter/load overridden)
 /// and write the spatial CSV tables to `<prefix>_channels.csv`,
@@ -54,8 +80,9 @@ class ObsSession {
   explicit ObsSession(const util::ArgParser& args);
   ~ObsSession();
 
-  /// Attach the tracer (if tracing or telemetry was requested) to the
-  /// sweep about to run.
+  /// Attach the tracer (if tracing or telemetry was requested) and
+  /// enable per-point online statistics (if telemetry or timeseries
+  /// output was requested) on the sweep about to run.
   void attach(SweepSpec& spec);
 
   /// Write telemetry/trace/spatial outputs. Call once, after the sweep.
@@ -66,10 +93,13 @@ class ObsSession {
 
  private:
   std::string metrics_path_;
+  std::string timeseries_path_;
   std::string trace_path_;
   std::string spatial_prefix_;
   std::string spatial_limiter_;
   double spatial_load_;
+  std::uint64_t online_window_;
+  std::uint64_t profile_period_;
   std::unique_ptr<obs::Tracer> tracer_;
 };
 

@@ -137,6 +137,7 @@ void Simulator::enqueue_source(NodeId node, NodeId dst, std::uint32_t length,
     // suppressed in poll_node.)
     ++generated_total_;
     collector_.on_generated(t);
+    if (online_) online_->on_generated(length);
     count_lost(collector_.in_window(t));
     return;
   }
@@ -146,6 +147,7 @@ void Simulator::enqueue_source(NodeId node, NodeId dst, std::uint32_t length,
   ++generated_total_;
   inject_nodes_.insert(node);
   collector_.on_generated(t);
+  if (online_) online_->on_generated(length);
   if (tracer_) {
     tracer_->record(t, obs::EventKind::QueueEnqueue, node,
                     /*aux8=*/0, static_cast<std::uint16_t>(length),
@@ -172,13 +174,17 @@ void Simulator::step() {
       credit_->begin_cycle(t);
     }
   }
-  if (faults_ && faults_->due(t)) apply_faults(t);
-  phase_generate(t);
-  phase_arrivals(t);
-  phase_eject(t);
-  phase_route(t);
-  phase_transmit(t);
-  phase_inject(t);
+  if (online_ && online_->profile_due(t)) {
+    run_phases_profiled(t);
+  } else {
+    if (faults_ && faults_->due(t)) apply_faults(t);
+    phase_generate(t);
+    phase_arrivals(t);
+    phase_eject(t);
+    phase_route(t);
+    phase_transmit(t);
+    phase_inject(t);
+  }
   scan_.active_links_sum += net_.tenant_links().size();
   scan_.active_nodes_sum +=
       cfg_.core == SimCore::Active ? inject_nodes_.size() : 0;
@@ -203,7 +209,52 @@ void Simulator::step() {
     assert(check_flow_control(&why) && why.c_str());
 #endif
   }
+  if (online_ && online_->window_closes(t)) {
+    online_->close_window(t, online_sample());
+  }
   ++cycle_;
+}
+
+void Simulator::run_phases_profiled(Cycle t) {
+  metrics::PhaseProfiler& prof = online_->profiler();
+  prof.time(metrics::Phase::Fault, [&] {
+    if (faults_ && faults_->due(t)) apply_faults(t);
+  });
+  prof.time(metrics::Phase::Generate, [&] { phase_generate(t); });
+  prof.time(metrics::Phase::Arrivals, [&] { phase_arrivals(t); });
+  prof.time(metrics::Phase::Eject, [&] { phase_eject(t); });
+  prof.time(metrics::Phase::Route, [&] { phase_route(t); });
+  prof.time(metrics::Phase::Transmit, [&] { phase_transmit(t); });
+  prof.time(metrics::Phase::Inject, [&] { phase_inject(t); });
+  prof.count_sample();
+}
+
+metrics::WindowSample Simulator::online_sample() {
+  metrics::WindowSample s;
+  s.in_flight_flits = net_.flits_in_network();
+  s.blocked_headers = pending_route_.size();
+  const unsigned chans = topo_.num_channels();
+  const unsigned vcs = net_.params().num_vcs;
+  const std::uint8_t vc_mask =
+      static_cast<std::uint8_t>((1u << vcs) - 1u);
+  std::uint64_t free_vcs = 0;
+  for (NodeId node = 0; node < topo_.num_nodes(); ++node) {
+    const std::uint8_t* row = fc_status_row(node);
+    for (unsigned c = 0; c < chans; ++c) {
+      free_vcs += static_cast<unsigned>(std::popcount(
+          static_cast<std::uint8_t>(row[c] & vc_mask)));
+    }
+  }
+  s.free_vcs = free_vcs;
+  s.total_vcs = static_cast<std::uint64_t>(topo_.num_nodes()) * chans * vcs;
+  s.queue_total = queue_total_;
+  s.credit_messages = flow_->credit_messages();
+  return s;
+}
+
+void Simulator::finish_online() {
+  if (!online_) return;
+  online_->finish(cycle_, online_sample());
 }
 
 // --- Generation -------------------------------------------------------
@@ -323,6 +374,7 @@ void Simulator::eject_node(NodeId node, Cycle t) {
     }
     collector_.on_flits_ejected(t, 1);
     if (timeseries_) timeseries_->on_flits_ejected(t, 1);
+    if (online_) online_->on_flits_ejected(1);
     if (spatial_) spatial_->on_ejected_flit(node);
     if (u.out_count == m.length) {
       net_.set_active(port.src, false);
@@ -748,6 +800,7 @@ void Simulator::inject_node(NodeId node, Cycle t) {
     start_injection(node, static_cast<unsigned>(ch), id, t);
     collector_.on_injected(node, t, /*counts_fairness=*/true);
     if (timeseries_) timeseries_->on_injected(t);
+    if (online_) online_->on_injected();
     limiter_->on_injected(node, t);
   }
 }
@@ -844,6 +897,7 @@ void Simulator::absorb_deadlocked(MsgId id, Cycle t) {
   ++deadlock_events_;
   collector_.on_deadlock(t);
   if (timeseries_) timeseries_->on_deadlock(t);
+  if (online_) online_->on_deadlock();
 
   const NodeId absorb_node = net_.link(m.head.link).dst;
   if (tracer_) {
@@ -1027,6 +1081,7 @@ void Simulator::deliver(MsgId id, Cycle t) {
   if (timeseries_) {
     timeseries_->on_delivered(t, static_cast<double>(t - m.gen_time));
   }
+  if (online_) online_->on_delivered(t - m.gen_time, m.measured);
   ++delivered_;
   deactivate(id);
   pool_.release(id);

@@ -46,6 +46,7 @@
 #include "fault/manager.hpp"
 #include "fault/schedule.hpp"
 #include "metrics/collector.hpp"
+#include "metrics/online/online_stats.hpp"
 #include "metrics/spatial.hpp"
 #include "metrics/timeseries.hpp"
 #include "obs/tracer.hpp"
@@ -247,6 +248,16 @@ class Simulator {
   /// SpatialMetrics (no-op when none is attached).
   void finish_spatial();
 
+  /// Attach streaming online statistics (nullptr detaches): latency
+  /// histogram, windowed time series, saturation-onset detector and the
+  /// optional phase profiler. Same contract as the tracer: every hook
+  /// branches on null and attaching never changes simulation results.
+  void set_online(metrics::OnlineStats* online) noexcept { online_ = online; }
+  metrics::OnlineStats* online() const noexcept { return online_; }
+  /// Flush the final (possibly partial) recording window into the
+  /// attached OnlineStats (no-op when none is attached).
+  void finish_online();
+
   const SimulatorConfig& config() const noexcept { return cfg_; }
 
   SimCore core() const noexcept { return cfg_.core; }
@@ -322,6 +333,13 @@ class Simulator {
   void phase_route(Cycle t);
   void phase_transmit(Cycle t);
   void phase_inject(Cycle t);
+  /// The step() phase sequence with each phase timed into the attached
+  /// OnlineStats' profiler (taken only on sampled cycles).
+  void run_phases_profiled(Cycle t);
+  /// Snapshot the instantaneous state the online window recorder wants
+  /// (in-flight flits, blocked headers, free-VC occupancy from the
+  /// limiter-visible status registers, queue depth, credit messages).
+  metrics::WindowSample online_sample();
 
   // Per-element phase bodies shared by both cores (the cores differ
   // only in which elements they visit).
@@ -525,6 +543,7 @@ class Simulator {
   std::unique_ptr<metrics::TimeSeries> timeseries_;
   obs::Tracer* tracer_ = nullptr;            // non-owning; null = off
   metrics::SpatialMetrics* spatial_ = nullptr;  // non-owning; null = off
+  metrics::OnlineStats* online_ = nullptr;      // non-owning; null = off
 
   MessagePool pool_;
   std::vector<MsgId> active_;

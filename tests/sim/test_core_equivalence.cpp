@@ -230,6 +230,27 @@ TEST(FlowControl, WormholeViaInterfaceMatchesPreRefactorGolden) {
   }
 }
 
+/// Attaching the online statistics engine — latency histograms, the
+/// windowed series, the saturation detector, and even the wall-clock
+/// phase profiler — must not perturb the simulation: the golden sweep
+/// CSV stays byte-identical with it enabled, on both cores, at any
+/// --jobs count. The observers only ever read simulation state.
+TEST(CoreEquivalence, OnlineStatsKeepSweepCsvByteIdentical) {
+  harness::SweepSpec spec = golden_sweep_spec();
+  spec.online = true;
+  spec.online_config.window_cycles = 128;
+  spec.online_config.profile_period = 64;
+  for (const auto core : {SimCore::Dense, SimCore::Active}) {
+    for (const unsigned jobs : {1u, 4u}) {
+      SCOPED_TRACE(std::string(sim_core_name(core)) +
+                   " jobs=" + std::to_string(jobs));
+      spec.base.sim.core = core;
+      spec.jobs = jobs;
+      EXPECT_EQ(kWormholeGoldenCsv, sweep_csv(spec));
+    }
+  }
+}
+
 /// Credit-based flow control with zero return latency is wormhole: the
 /// credit counter then equals the receiver occupancy the wormhole gate
 /// reads directly, so the schemes must produce the byte-identical CSV

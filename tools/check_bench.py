@@ -27,12 +27,23 @@ Criteria keys are interpreted as follows:
                  (e.g. post_rebuild_cps_ratio_min checks
                  point["post_rebuild_cps_ratio"]).
 
+Every file must also carry `"schema": "wormsim.bench/1"` next to the
+criteria block, so consumers can detect format drift.
+
 Unknown criteria keys are an error: a renamed gate must not silently
 stop being enforced. Exits non-zero on any violation.
+
+`check_bench.py --self-test` validates the checker itself against
+synthetic pass/fail fixtures (run from run_benches.sh before any real
+file is checked).
 """
 
 import json
+import os
 import sys
+import tempfile
+
+SCHEMA = "wormsim.bench/1"
 
 
 def fail(msg):
@@ -60,6 +71,9 @@ def check_file(path):
     with open(path) as f:
         data = json.load(f)
 
+    schema = data.get("schema")
+    if schema != SCHEMA:
+        return fail(f"{path}: schema is {schema!r}, expected {SCHEMA!r}")
     criteria = data.get("criteria")
     if not isinstance(criteria, dict) or not criteria:
         return fail(f"{path}: no embedded criteria block")
@@ -121,7 +135,100 @@ def check_file(path):
     return rc
 
 
+def _expect(fixture, want_rc, label):
+    """Run check_file on an in-memory fixture; 0 if its verdict matches."""
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False
+    ) as f:
+        json.dump(fixture, f)
+        path = f.name
+    try:
+        got = check_file(path)
+    finally:
+        os.unlink(path)
+    ok = (got == 0) == (want_rc == 0)
+    verdict = "pass" if got == 0 else "fail"
+    wanted = "pass" if want_rc == 0 else "fail"
+    print(f"check_bench: self-test {'ok' if ok else 'FAIL'}: {label} "
+          f"(got {verdict}, wanted {wanted})")
+    return 0 if ok else 1
+
+
+def self_test():
+    """Exercise every checker code path on synthetic fixtures."""
+    good = {
+        "schema": SCHEMA,
+        "bench": "synthetic",
+        "points": [
+            {
+                "offered_flits_node_cycle": 0.1,
+                "active_speedup": 2.5,
+                "x_overhead_pct": 1.0,
+                "recovery_cycles": 100,
+                "ratio": 0.9,
+            },
+            {
+                "offered_flits_node_cycle": 1.2,
+                "active_speedup": 1.8,
+                "x_overhead_pct": 1.5,
+                "recovery_cycles": 120,
+                "ratio": 0.8,
+            },
+        ],
+        "criteria": {
+            "low_load_speedup_min": 2.0,
+            "saturation_speedup_min": 1.5,
+            "x_overhead_max_pct": 2.0,
+            "recovery_cycles_max": 200,
+            "ratio_min": 0.5,
+        },
+    }
+    rc = 0
+    rc |= _expect(good, 0, "all gates pass")
+
+    def variant(**kw):
+        v = json.loads(json.dumps(good))
+        v.update(kw)
+        return v
+
+    bad_pct = variant()
+    bad_pct["points"][1]["x_overhead_pct"] = 9.0
+    rc |= _expect(bad_pct, 1, "pct gate over threshold")
+
+    bad_speedup = variant()
+    bad_speedup["points"][0]["active_speedup"] = 1.0
+    rc |= _expect(bad_speedup, 1, "low-load speedup under threshold")
+
+    bad_min = variant()
+    bad_min["points"][0]["ratio"] = 0.1
+    rc |= _expect(bad_min, 1, "generic *_min gate under threshold")
+
+    missing_field = variant()
+    del missing_field["points"][0]["recovery_cycles"]
+    rc |= _expect(missing_field, 1, "criteria field missing from point")
+
+    rc |= _expect(variant(schema="wormsim.bench/999"), 1, "wrong schema")
+    no_schema = variant()
+    del no_schema["schema"]
+    rc |= _expect(no_schema, 1, "missing schema")
+
+    unknown = variant()
+    unknown["criteria"]["renamed_gate"] = 1
+    rc |= _expect(unknown, 1, "unknown criteria key")
+
+    rc |= _expect(variant(criteria={}), 1, "empty criteria block")
+    rc |= _expect(variant(points=[]), 1, "no points")
+
+    if rc == 0:
+        print("check_bench: self-test passed")
+    else:
+        print("check_bench: SELF-TEST FAILED")
+    return rc
+
+
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
     if len(argv) < 2:
         print(__doc__.strip())
         return 2

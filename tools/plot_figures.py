@@ -28,6 +28,24 @@ one series per mechanism:
     tools/plot_figures.py fig05.jsonl --timeline \
         --y perf.cycles_per_second -o speed.svg
     tools/plot_figures.py fig05.jsonl --timeline --y result.latency_p99
+
+``--timeline`` also understands the ``wormsim.timeseries/1`` JSONL from
+``--timeseries-out`` (one record per recording window): when the input
+carries ``kind == "window"`` records it defaults to plotting
+``accepted_flits_node_cycle`` against ``start_cycle``, one series per
+(mechanism, offered load):
+
+    tools/plot_figures.py fig05.timeseries.jsonl --timeline -o windows.svg
+    tools/plot_figures.py fig05.timeseries.jsonl --timeline \
+        --y free_vc_fraction
+
+``--saturation`` reads ``--metrics-out`` telemetry (v2, with the online
+saturation detector's verdicts) and draws the fig-style accepted-vs-
+offered throughput curves with a dashed vertical onset marker at each
+mechanism's detected ``saturation_load``; detector-flagged points are
+drawn hollow:
+
+    tools/plot_figures.py fig05.jsonl --saturation -o sat.svg
 """
 
 import argparse
@@ -79,7 +97,11 @@ def nice_ticks(lo, hi, count=5):
     return [lo + i * step for i in range(count)]
 
 
-def render_svg(series, xlabel, ylabel, title, logy=False):
+def render_svg(series, xlabel, ylabel, title, logy=False, vlines=(),
+               hollow=None):
+    """Line plot. ``vlines`` is a list of (x, label, color) dashed
+    vertical markers; ``hollow`` maps a series name to a set of x values
+    whose point markers are drawn as open circles."""
     import math
 
     width, height = 720, 480
@@ -148,6 +170,19 @@ def render_svg(series, xlabel, ylabel, title, logy=False):
         f'transform="rotate(-90 18 {mt + ph / 2})">{ylabel}</text>'
     )
 
+    for x, label, color in vlines:
+        if not x0 <= x <= x1:
+            continue
+        out.append(
+            f'<line x1="{fmt(px(x))}" y1="{mt}" x2="{fmt(px(x))}" '
+            f'y2="{mt + ph}" stroke="{color}" stroke-width="1.5" '
+            'stroke-dasharray="6,4"/>'
+        )
+        out.append(
+            f'<text x="{fmt(px(x) + 4)}" y="{mt + 12}" font-size="11" '
+            f'fill="{color}">{label}</text>'
+        )
+
     for i, (name, pts) in enumerate(series.items()):
         color = PALETTE[i % len(PALETTE)]
         pts = sorted(pts)
@@ -156,10 +191,17 @@ def render_svg(series, xlabel, ylabel, title, logy=False):
             for j, (x, y) in enumerate(pts)
         )
         out.append(f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>')
+        open_xs = (hollow or {}).get(name, ())
         for x, y in pts:
-            out.append(
-                f'<circle cx="{fmt(px(x))}" cy="{fmt(py(y))}" r="3" fill="{color}"/>'
-            )
+            if x in open_xs:
+                out.append(
+                    f'<circle cx="{fmt(px(x))}" cy="{fmt(py(y))}" r="4" '
+                    f'fill="white" stroke="{color}" stroke-width="2"/>'
+                )
+            else:
+                out.append(
+                    f'<circle cx="{fmt(px(x))}" cy="{fmt(py(y))}" r="3" fill="{color}"/>'
+                )
         ly = mt + 14 + i * 18
         out.append(
             f'<line x1="{ml + pw + 12}" y1="{ly - 4}" x2="{ml + pw + 36}" '
@@ -268,8 +310,8 @@ def json_at_path(obj, dotted):
     return obj
 
 
-def read_telemetry(path):
-    """Point records of a --metrics-out JSONL telemetry file."""
+def read_jsonl(path):
+    """All records of a telemetry/timeseries JSONL file."""
     records = []
     with open_input(path) as f:
         for i, line in enumerate(f, 1):
@@ -279,10 +321,17 @@ def read_telemetry(path):
                 rec = json.loads(line)
             except json.JSONDecodeError as e:
                 raise SystemExit(f"{path}:{i}: invalid JSON: {e}")
-            if rec.get("kind") == "point":
-                records.append(rec)
+            records.append(rec)
     if not records:
-        raise SystemExit(f"{path}: no telemetry point records")
+        raise SystemExit(f"{path}: no JSONL records")
+    return records
+
+
+def read_telemetry(path, kinds=("point",)):
+    """Records of the given kind(s) from a JSONL telemetry file."""
+    records = [r for r in read_jsonl(path) if r.get("kind") in kinds]
+    if not records:
+        raise SystemExit(f"{path}: no telemetry {'/'.join(kinds)} records")
     return records
 
 
@@ -315,21 +364,73 @@ def run_heatmap(args):
 
 
 def run_timeline(args):
-    records = read_telemetry(args.input)
-    x_key = args.x if args.x is not None else "offered"
-    y_key = args.y if args.y is not None else "perf.cycles_per_second"
+    records = read_telemetry(args.input, kinds=("point", "window"))
+    windowed = records[0].get("kind") == "window"
+    if windowed:
+        # wormsim.timeseries/1: one record per recording window, keyed by
+        # (mechanism, offered load) so multiple sweep points separate.
+        records = [r for r in records if r.get("kind") == "window"]
+        x_key = args.x if args.x is not None else "start_cycle"
+        y_key = args.y if args.y is not None else "accepted_flits_node_cycle"
+    else:
+        x_key = args.x if args.x is not None else "offered"
+        y_key = args.y if args.y is not None else "perf.cycles_per_second"
     series = {}
     for rec in records:
         x = json_at_path(rec, x_key)
         y = json_at_path(rec, y_key)
         if not isinstance(x, (int, float)) or not isinstance(y, (int, float)):
             continue
-        key = json_at_path(rec, args.series) or "data"
+        if windowed and args.series == "mechanism":
+            key = f"{rec.get('mechanism', 'data')}@{rec.get('offered')}"
+        else:
+            key = json_at_path(rec, args.series) or "data"
         series.setdefault(str(key), []).append((float(x), float(y)))
     if not series:
         raise SystemExit(f"no numeric ({x_key}, {y_key}) pairs in telemetry")
     return render_svg(series, x_key, y_key,
                       args.title or f"{args.input}: {y_key}", args.logy)
+
+
+def run_saturation(args):
+    """Accepted-vs-offered curves with online-detector annotations.
+
+    Hollow markers: sweep points whose per-run detector latched
+    ``saturation.saturated``. Dashed vlines: the summary record's
+    per-mechanism ``saturation_load`` (first flagged offered load)."""
+    records = read_jsonl(args.input)
+    points = [r for r in records if r.get("kind") == "point"]
+    if not points:
+        raise SystemExit(f"{args.input}: no telemetry point records")
+    y_key = args.y if args.y is not None else \
+        "result.accepted_flits_per_node_cycle"
+
+    series, hollow, order = {}, {}, []
+    for rec in points:
+        mech = str(rec.get("mechanism", "data"))
+        x = rec.get("offered")
+        y = json_at_path(rec, y_key)
+        if not isinstance(x, (int, float)) or not isinstance(y, (int, float)):
+            continue
+        if mech not in series:
+            order.append(mech)
+        series.setdefault(mech, []).append((float(x), float(y)))
+        if json_at_path(rec, "saturation.saturated"):
+            hollow.setdefault(mech, set()).add(float(x))
+    if not series:
+        raise SystemExit(f"no numeric (offered, {y_key}) pairs in telemetry")
+
+    vlines = []
+    for rec in records:
+        if rec.get("kind") != "summary":
+            continue
+        for mech, load in (rec.get("saturation_load") or {}).items():
+            if isinstance(load, (int, float)) and mech in series:
+                color = PALETTE[order.index(mech) % len(PALETTE)]
+                vlines.append((float(load), f"{mech} onset", color))
+    return render_svg({m: series[m] for m in order}, "offered", y_key,
+                      args.title or f"{args.input}: saturation onset",
+                      args.logy, vlines=vlines, hollow=hollow)
 
 
 def main():
@@ -357,7 +458,10 @@ def main():
     mode.add_argument("--heatmap", action="store_true",
                       help="render a spatial CSV as an x/y grid")
     mode.add_argument("--timeline", action="store_true",
-                      help="plot telemetry JSONL records")
+                      help="plot telemetry/timeseries JSONL records")
+    mode.add_argument("--saturation", action="store_true",
+                      help="throughput curves with detected saturation-"
+                           "onset markers from telemetry JSONL")
     ap.add_argument("--value", default=None,
                     help="heatmap cell value column (default: utilization "
                          "or queue_avg)")
@@ -375,6 +479,8 @@ def main():
             svg = run_heatmap(args)
         elif args.timeline:
             svg = run_timeline(args)
+        elif args.saturation:
+            svg = run_saturation(args)
         else:
             if args.x is None:
                 args.x = "offered_flits_node_cycle"
