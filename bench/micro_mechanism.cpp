@@ -292,9 +292,19 @@ FcOverhead measure_fc_overhead(double offered, int pairs) {
       v_cpu += t1 - t0;
       a_cpu += cpu_seconds() - t1;
     }
-    keep_best(out.fc_virtual, std::move(v), i == 0);
+    if (scale == 1) keep_best(out.fc_virtual, std::move(v), i == 0);
   }
   if (a_cpu > 0.0) out.overhead_pct = (v_cpu / a_cpu - 1.0) * 100.0;
+  // When the gate pairs ran with stretched windows, they are the wrong
+  // material for the JSON sample: its total_cycles must describe the
+  // same protocol as the dense/active samples next to it. Take the
+  // sample from a few dedicated unscaled reps instead.
+  if (scale != 1) {
+    for (int i = 0; i < 3; ++i) {
+      keep_best(out.fc_virtual,
+                run_point(sim::SimCore::Active, offered, false), i == 0);
+    }
+  }
   return out;
 }
 

@@ -35,6 +35,15 @@ for b in build/bench/*; do
       python3 tools/check_bench.py bench_telemetry/fault_transient.json \
         || status=1
       ;;
+    shard_scaling)
+      # Sharded-core scaling: human-readable shard sweep, then the
+      # gated JSON (single-shard overhead always; multi-shard speedup
+      # on multi-core hosts) plus the 32k-node scale demo.
+      "$b"
+      "$b" --json bench_telemetry/BENCH_shard.json || status=1
+      python3 tools/check_bench.py bench_telemetry/BENCH_shard.json \
+        || status=1
+      ;;
     micro_mechanism)
       # Google-benchmark suite, then the gated JSON modes. Each JSON is
       # re-validated against its embedded criteria block so a perf

@@ -46,6 +46,49 @@ SimConfig small_base() {
   return cfg;
 }
 
+MemoryFootprint estimate_memory(const SimConfig& cfg) {
+  MemoryFootprint f;
+  const auto& net = cfg.sim.net;
+  std::uint64_t nodes = 1;
+  for (unsigned d = 0; d < cfg.n; ++d) nodes *= cfg.k;
+  f.nodes = nodes;
+  const std::uint64_t net_links = nodes * (2 * cfg.n);
+  const std::uint64_t inj_links = nodes * net.inj_channels;
+  const std::uint64_t links = net_links + inj_links;
+  // One VC slot per (net link, vc) plus one per injection link; each
+  // Link embeds its in-flight pipeline ring, so sizeof covers it.
+  const std::uint64_t slots = net_links * net.num_vcs + inj_links;
+  f.network_bytes = links * sizeof(sim::Link) +
+                    slots * sizeof(sim::VcState) +
+                    nodes * net.eje_channels * sizeof(sim::EjectPort);
+  // Tabulated routing: one packed 4-byte entry per (node, dst) pair.
+  // Above kMaxEntries the LUT silently degrades to passthrough (no
+  // allocation), and validate() rejects fault schedules there.
+  const bool active = cfg.sim.core == sim::SimCore::Active;
+  if ((active && cfg.sim.fastpath.routing_lut) || !cfg.sim.faults.empty()) {
+    if (nodes * nodes <= routing::RoutingLut::kMaxEntries) {
+      f.lut_bytes = nodes * nodes * 4;
+    }
+  }
+  // SoA status rows: per-net-link free/admissible masks and epoch
+  // counters, plus the per-slot slot->router map and route memo.
+  f.status_bytes = net_links * (sizeof(std::uint8_t) * 2 +
+                                sizeof(std::uint64_t)) +
+                   slots * sizeof(topo::NodeId);
+  if (active && cfg.sim.fastpath.route_memo) {
+    f.status_bytes += slots * sim::Simulator::route_memo_entry_bytes();
+  }
+  // Active-set bitmaps: tenant + arrival over net links; eject, inject
+  // and generator-dense over nodes; plus the per-node generator
+  // subscription byte.
+  const auto bitmap_bytes = [](std::uint64_t n) {
+    return (n + 63) / 64 * sizeof(std::uint64_t);
+  };
+  f.active_set_bytes =
+      2 * bitmap_bytes(net_links) + 3 * bitmap_bytes(nodes) + nodes;
+  return f;
+}
+
 void validate(const SimConfig& cfg) {
   if (cfg.k < 2) throw std::invalid_argument("k must be >= 2");
   if (cfg.n < 1 || cfg.n > topo::kMaxDims) {
@@ -79,6 +122,11 @@ void validate(const SimConfig& cfg) {
           std::to_string(longest) + " flits)");
     }
   }
+  if (cfg.sim.shards != 1 && cfg.sim.core == sim::SimCore::Dense) {
+    throw std::invalid_argument(
+        "shards != 1 requires the active core (the dense reference core "
+        "stays single-threaded)");
+  }
   // NetworkParams and routing constraints are validated by their
   // constructors; trigger them early for a clear error site.
   const topo::KAryNCube topo(cfg.k, cfg.n);
@@ -90,11 +138,18 @@ void validate(const SimConfig& cfg) {
           "fault schedules require TFAR routing (the only algorithm with a "
           "reachability-aware LUT rebuild)");
     }
-    const std::size_t nodes = topo.num_nodes();
+    const std::uint64_t nodes = topo.num_nodes();
     if (nodes * nodes > routing::RoutingLut::kMaxEntries) {
+      // Refuse up front with the arithmetic instead of letting a 32k-node
+      // config attempt a multi-gigabyte LUT tabulation.
       throw std::invalid_argument(
-          "fault schedules need a tabulable network (too many nodes for the "
-          "routing LUT)");
+          "fault schedules need a tabulable network: " +
+          std::to_string(nodes) + " nodes would need a " +
+          std::to_string(nodes * nodes * 4 / (1024 * 1024)) +
+          " MiB routing LUT, over the " +
+          std::to_string(routing::RoutingLut::kMaxEntries * 4 /
+                         (1024 * 1024)) +
+          " MiB budget; shrink the network or drop the fault schedule");
     }
     fault::validate(cfg.sim.faults, topo);
   }

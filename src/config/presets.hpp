@@ -34,6 +34,30 @@ SimConfig small_base();
 /// Throws std::invalid_argument on inconsistent settings.
 void validate(const SimConfig& cfg);
 
+/// Analytic memory footprint of one simulation instance: the large
+/// O(nodes) / O(links) arrays, computed from sizeofs without
+/// constructing anything. Lets callers (and validate()) reason about
+/// 32k-node configs before committing gigabytes.
+struct MemoryFootprint {
+  std::uint64_t nodes = 0;
+  std::uint64_t network_bytes = 0;     // links, VC state, eject ports
+  std::uint64_t lut_bytes = 0;         // tabulated routing (0 = passthrough)
+  std::uint64_t status_bytes = 0;      // per-link status rows + route memo
+  std::uint64_t active_set_bytes = 0;  // bitmap index sets + gen bookkeeping
+  std::uint64_t total_bytes() const noexcept {
+    return network_bytes + lut_bytes + status_bytes + active_set_bytes;
+  }
+  double bytes_per_node() const noexcept {
+    return nodes ? static_cast<double>(total_bytes()) /
+                       static_cast<double>(nodes)
+                 : 0.0;
+  }
+};
+
+/// Estimate the footprint of `cfg` (validates nothing; safe on any
+/// syntactically sane config).
+MemoryFootprint estimate_memory(const SimConfig& cfg);
+
 /// Build a ready-to-run Simulator (topology + workload wired up).
 std::unique_ptr<sim::Simulator> build_simulator(const SimConfig& cfg);
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <iomanip>
 #include <mutex>
 #include <ostream>
 #include <sstream>
@@ -299,6 +300,8 @@ void apply_common_flags(config::SimConfig& cfg, const util::ArgParser& args) {
       "credit-delay", cfg.sim.flow.credit_return_delay));
   cfg.sim.detection.threshold = static_cast<std::uint32_t>(
       args.get_uint("deadlock-threshold", cfg.sim.detection.threshold));
+  cfg.sim.shards =
+      static_cast<unsigned>(args.get_uint("shards", cfg.sim.shards));
   cfg.protocol.warmup = args.get_uint("warmup", cfg.protocol.warmup);
   cfg.protocol.measure = args.get_uint("measure", cfg.protocol.measure);
   cfg.protocol.drain_max = args.get_uint("drain", cfg.protocol.drain_max);
@@ -357,6 +360,18 @@ std::string describe(const config::SimConfig& cfg) {
       os << " (credit-delay=" << cfg.sim.flow.credit_return_delay << ")";
     }
   }
+  // And for sharding: 1 (the sequential path) is silent; 0 means "one
+  // per hardware thread" and is reported verbatim.
+  if (cfg.sim.shards != 1) {
+    os << ", shards=" << cfg.sim.shards;
+  }
+  const config::MemoryFootprint mem = config::estimate_memory(cfg);
+  os << "\n# memory: " << std::fixed << std::setprecision(1)
+     << mem.bytes_per_node() << " B/node ("
+     << mem.total_bytes() / 1024 << " KiB total: network "
+     << mem.network_bytes / 1024 << ", lut " << mem.lut_bytes / 1024
+     << ", status " << mem.status_bytes / 1024 << ", active-sets "
+     << mem.active_set_bytes / 1024 << ")";
   return os.str();
 }
 

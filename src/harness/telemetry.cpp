@@ -113,8 +113,12 @@ void emit_online(util::JsonWriter& w, const metrics::OnlineStats& online) {
 
 /// Wall-clock-dependent diagnostics, quarantined under "perf" so the
 /// rest of a record is reproducible bit-for-bit for a fixed seed.
+/// Shard count and the memory estimate live here too: they vary with
+/// the execution strategy, never the simulated results, so consumers
+/// that strip "perf" still see byte-identical records across --shards.
 /// `online` (nullable) contributes the phase-profiler attribution.
-void emit_perf(util::JsonWriter& w, const metrics::SimResult& r,
+void emit_perf(util::JsonWriter& w, const config::SimConfig& cfg,
+               const metrics::SimResult& r,
                const metrics::OnlineStats* online) {
   w.key("perf");
   w.begin_object();
@@ -124,6 +128,17 @@ void emit_perf(util::JsonWriter& w, const metrics::SimResult& r,
   w.field("avg_active_links", r.avg_active_links);
   w.field("avg_active_nodes", r.avg_active_nodes);
   w.field("route_memo_hit_rate", r.route_memo_hit_rate);
+  w.field("shards", static_cast<std::uint64_t>(cfg.sim.shards));
+  const config::MemoryFootprint mem = config::estimate_memory(cfg);
+  w.key("memory");
+  w.begin_object();
+  w.field("network_bytes", mem.network_bytes);
+  w.field("lut_bytes", mem.lut_bytes);
+  w.field("status_bytes", mem.status_bytes);
+  w.field("active_set_bytes", mem.active_set_bytes);
+  w.field("total_bytes", mem.total_bytes());
+  w.field("bytes_per_node", mem.bytes_per_node());
+  w.end_object();
   if (online && online->profile_enabled()) {
     const metrics::PhaseProfiler& prof = online->profiler();
     w.key("profile");
@@ -175,7 +190,7 @@ void write_sweep_telemetry(std::ostream& out, const SweepSpec& spec,
     emit_config(w, cfg);
     emit_result(w, p.result);
     if (p.online) emit_online(w, *p.online);
-    emit_perf(w, p.result, p.online.get());
+    emit_perf(w, cfg, p.result, p.online.get());
     w.end_object();
     out << "\n";
   }

@@ -172,6 +172,20 @@ class Network final : public core::ChannelStatus {
   /// empty buffer (so the simulator can enroll it for routing).
   template <typename OnNewHeader>
   void process_arrivals(LinkId link_id, Cycle now, OnNewHeader&& on_header) {
+    if (process_arrivals_sharded(link_id, now,
+                                 std::forward<OnNewHeader>(on_header))) {
+      arrival_links_.adjust_size(-1);
+    }
+  }
+
+  /// process_arrivals for the sharded core: when the pipeline drains it
+  /// clears the link's pending-arrival bit without touching the set's
+  /// shared size counter (each word is owned by one shard; the counter
+  /// is not). Returns true iff the bit was cleared; the caller batches
+  /// the count back in via `adjust_arrival_links` at the barrier.
+  template <typename OnNewHeader>
+  bool process_arrivals_sharded(LinkId link_id, Cycle now,
+                                OnNewHeader&& on_header) {
     // Only network links have in-flight pipelines (injection writes
     // buffers directly), so the VC row lookup can be hoisted.
     assert(link_id < num_net_links_);
@@ -190,9 +204,16 @@ class Network final : public core::ChannelStatus {
       v.last_activity = now;
       l.in_flight.pop();
     }
-    if (l.in_flight.empty() && link_id < num_net_links_) {
-      arrival_links_.erase(link_id);
+    if (l.in_flight.empty()) {
+      return arrival_links_.erase_unsized(link_id);
     }
+    return false;
+  }
+
+  /// Fold the per-shard pending-arrival erase deltas back into the
+  /// arrival set's size at the per-cycle barrier.
+  void adjust_arrival_links(std::ptrdiff_t delta) noexcept {
+    arrival_links_.adjust_size(delta);
   }
   /// Free one VC unconditionally (deadlock absorption).
   void force_free(VcRef ref) noexcept;

@@ -111,6 +111,45 @@ Simulator::Simulator(const topo::KAryNCube& topo, const SimulatorConfig& cfg,
       vc_node_[net_.vc_flat_index({l, static_cast<std::uint8_t>(vc)})] = dst;
     }
   }
+  // Sharded core: resolve the shard count (0 = one per hardware
+  // thread), clamp to the number of 64-node bitmap words so every
+  // shard owns at least one word, and build the contiguous word
+  // partition of the node and net-link bitmaps. shards_eff_ == 1
+  // leaves the sequential path untouched (no crew, no lanes).
+  if (cfg_.shards != 1 && !active) {
+    throw std::invalid_argument(
+        "--shards > 1 requires the active core (the dense reference "
+        "core stays single-threaded)");
+  }
+  const unsigned shards_req =
+      cfg_.shards == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                       : cfg_.shards;
+  const auto node_words =
+      static_cast<unsigned>(std::max<std::size_t>(1, gen_dense_.word_count()));
+  shards_eff_ = active ? std::min(shards_req, node_words) : 1u;
+  gen_heaps_.resize(shards_eff_);
+  if (shards_eff_ > 1) {
+    crew_ = std::make_unique<util::ShardCrew>(shards_eff_);
+    lanes_.resize(shards_eff_);
+    const std::size_t nw = gen_dense_.word_count();
+    const std::size_t lw = net_.arrival_links().word_count();
+    node_word_lo_.resize(shards_eff_ + 1);
+    link_word_lo_.resize(shards_eff_ + 1);
+    word_shard_.resize(nw);
+    for (unsigned s = 0; s < shards_eff_; ++s) {
+      const auto [n_lo, n_hi] = util::ShardCrew::slice(nw, s, shards_eff_);
+      const auto [l_lo, l_hi] = util::ShardCrew::slice(lw, s, shards_eff_);
+      node_word_lo_[s] = n_lo;
+      node_word_lo_[s + 1] = n_hi;
+      link_word_lo_[s] = l_lo;
+      link_word_lo_[s + 1] = l_hi;
+      for (std::size_t w = n_lo; w < n_hi; ++w) word_shard_[w] = s;
+    }
+  }
+}
+
+std::size_t Simulator::route_memo_entry_bytes() noexcept {
+  return sizeof(RouteMemo);
 }
 
 void Simulator::resolve_limiter_dispatch() {
@@ -176,6 +215,19 @@ void Simulator::step() {
   }
   if (online_ && online_->profile_due(t)) {
     run_phases_profiled(t);
+  } else if (use_sharded_step()) {
+    // Sharded cycle: generate/arrivals/eject fan out across the crew
+    // (their per-element work is element-local), everything whose
+    // outcome depends on global visit order stays sequential. The
+    // occasional profiled cycle above runs the sequential phases —
+    // bit-exactness makes mixing the two paths across cycles legal.
+    if (faults_ && faults_->due(t)) apply_faults(t);
+    phase_generate_sharded(t);
+    phase_arrivals_sharded(t);
+    phase_eject_sharded(t);
+    phase_route(t);
+    phase_transmit(t);
+    phase_inject(t);
   } else {
     if (faults_ && faults_->due(t)) apply_faults(t);
     phase_generate(t);
@@ -283,7 +335,39 @@ void Simulator::poll_and_reschedule(NodeId node, Cycle t) {
     gen_where_[node] = GenSub::EveryCycle;
   } else {
     gen_dense_.erase(node);
-    gen_heap_.push({hint, node});
+    // Always the owner shard's heap, so the heap partition stays
+    // coherent when sequential and sharded cycles interleave (profiled
+    // cycles, observer attach/detach).
+    gen_heaps_[shard_of_node(node)].push({hint, node});
+    gen_where_[node] = GenSub::Timed;
+  }
+}
+
+void Simulator::poll_and_reschedule_sharded(NodeId node, Cycle t,
+                                            unsigned s) {
+  ShardLane& lane = lanes_[s];
+  lane.visited += 1;
+  // Same dead-source rule as poll_node, but generated messages are
+  // parked in the shard mailbox: enqueue_source touches cross-shard
+  // state (counters, the inject set, the collector), so the commit
+  // replays it under the barrier.
+  if (!(faults_ && faults_->mask().node_dead(node))) {
+    lane.gen_buf.clear();
+    workload_->poll(node, t, lane.gen_buf);
+    for (const auto& g : lane.gen_buf) {
+      lane.gen_events.push_back({node, g.dst, g.length_flits});
+    }
+  }
+  const std::uint64_t hint = workload_->next_poll(node, t);
+  if (hint == traffic::kNeverPoll) {
+    lane.gen_dense_delta -= gen_dense_.erase_unsized(node) ? 1 : 0;
+    gen_where_[node] = GenSub::None;
+  } else if (hint <= t + 1) {
+    lane.gen_dense_delta += gen_dense_.insert_unsized(node) ? 1 : 0;
+    gen_where_[node] = GenSub::EveryCycle;
+  } else {
+    lane.gen_dense_delta -= gen_dense_.erase_unsized(node) ? 1 : 0;
+    gen_heaps_[s].push({hint, node});
     gen_where_[node] = GenSub::Timed;
   }
 }
@@ -301,7 +385,7 @@ void Simulator::phase_generate(Cycle t) {
   // node from the next cycle on, exactly as the dense core would.
   if (workload_->mutation_epoch() != gen_epoch_) {
     gen_epoch_ = workload_->mutation_epoch();
-    gen_heap_ = {};
+    for (GenHeap& heap : gen_heaps_) heap = {};
     for (NodeId node = 0; node < nodes; ++node) {
       gen_dense_.insert(node);
       gen_where_[node] = GenSub::EveryCycle;
@@ -311,15 +395,68 @@ void Simulator::phase_generate(Cycle t) {
   // subscription exclusivity, not results: a heap pop may re-subscribe
   // its node into gen_dense_, which must not be re-visited this cycle —
   // per-node generator state is independent, so cross-node poll order
-  // itself is free.
+  // itself is free (which is also why draining the per-shard heaps one
+  // after another is equivalent to a single global heap: "due" is a
+  // per-node property).
   gen_dense_.for_each(
       [&](std::size_t node) { poll_and_reschedule(static_cast<NodeId>(node), t); });
-  while (!gen_heap_.empty() && gen_heap_.top().first <= t) {
-    const NodeId node = gen_heap_.top().second;
-    gen_heap_.pop();
-    assert(gen_where_[node] == GenSub::Timed);
-    poll_and_reschedule(node, t);
+  for (GenHeap& heap : gen_heaps_) {
+    while (!heap.empty() && heap.top().first <= t) {
+      const NodeId node = heap.top().second;
+      heap.pop();
+      assert(gen_where_[node] == GenSub::Timed);
+      poll_and_reschedule(node, t);
+    }
   }
+}
+
+void Simulator::phase_generate_sharded(Cycle t) {
+  if (!workload_) return;
+  // The epoch refill is rare (a workload mutation) and touches every
+  // node's subscription: run it sequentially before the fan-out.
+  if (workload_->mutation_epoch() != gen_epoch_) {
+    gen_epoch_ = workload_->mutation_epoch();
+    for (GenHeap& heap : gen_heaps_) heap = {};
+    const NodeId nodes = topo_.num_nodes();
+    for (NodeId node = 0; node < nodes; ++node) {
+      gen_dense_.insert(node);
+      gen_where_[node] = GenSub::EveryCycle;
+    }
+  }
+  // Fan out: each shard polls the dense subscribers in its node-word
+  // range, then its own due timed nodes. All mutated state is
+  // shard-local (per-node workload state, gen_where_, owned bitmap
+  // words, the shard heap, the mailbox).
+  crew_->run([&](unsigned s) {
+    gen_dense_.for_each_in_words(
+        node_word_lo_[s], node_word_lo_[s + 1], [&](std::size_t node) {
+          poll_and_reschedule_sharded(static_cast<NodeId>(node), t, s);
+        });
+    GenHeap& heap = gen_heaps_[s];
+    while (!heap.empty() && heap.top().first <= t) {
+      const NodeId node = heap.top().second;
+      heap.pop();
+      assert(gen_where_[node] == GenSub::Timed);
+      poll_and_reschedule_sharded(node, t, s);
+    }
+  });
+  // Commit: replay the parked generations in shard order. Cross-node
+  // enqueue order is commutative (per-node queues, summed counters),
+  // and per-node order is preserved — each node generated in exactly
+  // one shard — so this equals the sequential core's state exactly.
+  std::ptrdiff_t dense_delta = 0;
+  for (unsigned s = 0; s < shards_eff_; ++s) {
+    ShardLane& lane = lanes_[s];
+    scan_.scan_visited += lane.visited;
+    lane.visited = 0;
+    dense_delta += lane.gen_dense_delta;
+    lane.gen_dense_delta = 0;
+    for (const GenEvent& g : lane.gen_events) {
+      enqueue_source(g.node, g.dst, g.length, t);
+    }
+    lane.gen_events.clear();
+  }
+  gen_dense_.adjust_size(dense_delta);
 }
 
 // --- Arrivals ---------------------------------------------------------
@@ -340,6 +477,45 @@ void Simulator::phase_arrivals(Cycle t) {
     net_.process_arrivals(static_cast<LinkId>(l), t,
                           [this](VcRef ref) { enroll_for_routing(ref); });
   });
+}
+
+void Simulator::phase_arrivals_sharded(Cycle t) {
+  // The sequential core charges the pre-iteration set size; compute it
+  // before the erase deltas land.
+  scan_.scan_visited += net_.arrival_links().size();
+  crew_->run([&](unsigned s) {
+    ShardLane& lane = lanes_[s];
+    net_.arrival_links().for_each_in_words(
+        link_word_lo_[s], link_word_lo_[s + 1], [&](std::size_t l) {
+          // All VcState/in-flight mutation is local to the link, and
+          // each link has exactly one owner. New headers are parked in
+          // the mailbox; concatenating the mailboxes in shard order
+          // reproduces the sequential enrollment order, because
+          // for_each visits links ascending and the shard ranges are
+          // ascending and disjoint.
+          const bool erased = net_.process_arrivals_sharded(
+              static_cast<LinkId>(l), t, [&](VcRef ref) {
+                VcState& v = net_.vc(ref);
+                if (!v.pending_route) {
+                  v.pending_route = true;
+                  lane.enrolls.push_back(
+                      {ref, v.msg,
+                       static_cast<std::uint32_t>(net_.vc_flat_index(ref))});
+                }
+              });
+          lane.arrival_delta -= erased ? 1 : 0;
+        });
+  });
+  std::ptrdiff_t delta = 0;
+  for (unsigned s = 0; s < shards_eff_; ++s) {
+    ShardLane& lane = lanes_[s];
+    delta += lane.arrival_delta;
+    lane.arrival_delta = 0;
+    pending_route_.insert(pending_route_.end(), lane.enrolls.begin(),
+                          lane.enrolls.end());
+    lane.enrolls.clear();
+  }
+  net_.adjust_arrival_links(delta);
 }
 
 void Simulator::enroll_for_routing(VcRef ref) {
@@ -408,6 +584,82 @@ void Simulator::phase_eject(Cycle t) {
     }
     if (!any_busy) eject_nodes_.erase(node);
   });
+}
+
+void Simulator::eject_node_sharded(NodeId node, Cycle t, unsigned s) {
+  ShardLane& lane = lanes_[s];
+  const unsigned ports = net_.params().eje_channels;
+  for (unsigned p = 0; p < ports; ++p) {
+    EjectPort& port = net_.eject_port(node, p);
+    if (!port.busy()) continue;
+    VcState& u = net_.vc(port.src);
+    if (u.buffered() == 0) continue;
+    // The upstream VC may live on a link word another shard owns, but
+    // no other shard touches it this phase: eject is the only writer of
+    // VcStates here and each VC feeds at most one ejection port.
+    Message& m = pool_[port.msg];
+    ++u.out_count;
+    --u.occupancy;
+    u.last_activity = t;
+    m.last_progress = t;
+    EjectEvent ev;
+    ev.src = port.src;
+    ev.msg = port.msg;
+    ev.credit = !net_.is_injection(port.src.link);
+    if (ev.credit) {
+      ev.slot = static_cast<std::uint32_t>(net_.vc_flat_index(port.src));
+    }
+    ev.completed = u.out_count == m.length;
+    if (ev.completed) {
+      u.clear();
+      port.msg = kNoMsg;
+      port.src = VcRef{};
+    }
+    lane.ejects.push_back(ev);
+  }
+}
+
+void Simulator::phase_eject_sharded(Cycle t) {
+  scan_.scan_visited += eject_nodes_.size();
+  const unsigned ports = net_.params().eje_channels;
+  crew_->run([&](unsigned s) {
+    ShardLane& lane = lanes_[s];
+    eject_nodes_.for_each_in_words(
+        node_word_lo_[s], node_word_lo_[s + 1], [&](std::size_t node) {
+          eject_node_sharded(static_cast<NodeId>(node), t, s);
+          bool any_busy = false;
+          for (unsigned p = 0; p < ports; ++p) {
+            any_busy |=
+                net_.eject_port(static_cast<NodeId>(node), p).busy();
+          }
+          if (!any_busy) {
+            lane.eject_delta -= eject_nodes_.erase_unsized(node) ? 1 : 0;
+          }
+        });
+  });
+  // Replay in shard order == ascending node order == the sequential
+  // core's event order, flit by flit: credit return, metrics hooks,
+  // then (for tails) tenancy release and delivery. deliver() feeds the
+  // latency Welford accumulator and recycles pool ids, both of which
+  // are order-sensitive — the ordered replay is what keeps them exact.
+  std::ptrdiff_t delta = 0;
+  for (unsigned s = 0; s < shards_eff_; ++s) {
+    ShardLane& lane = lanes_[s];
+    delta += lane.eject_delta;
+    lane.eject_delta = 0;
+    for (const EjectEvent& ev : lane.ejects) {
+      if (ev.credit) fc_on_drained(ev.slot, t);
+      collector_.on_flits_ejected(t, 1);
+      if (timeseries_) timeseries_->on_flits_ejected(t, 1);
+      if (online_) online_->on_flits_ejected(1);
+      if (ev.completed) {
+        net_.set_active(ev.src, false);
+        deliver(ev.msg, t);
+      }
+    }
+    lane.ejects.clear();
+  }
+  eject_nodes_.adjust_size(delta);
 }
 
 // --- Routing ----------------------------------------------------------
@@ -1168,8 +1420,10 @@ bool Simulator::check_active_sets(std::string* why) const {
       dense_n += in_dense;
       timed_n += gen_where_[node] == GenSub::Timed;
     }
-    if (timed_n != gen_heap_.size()) {
-      return fail("gen heap holds duplicate or orphan subscriptions");
+    std::size_t heap_n = 0;
+    for (const GenHeap& heap : gen_heaps_) heap_n += heap.size();
+    if (timed_n != heap_n) {
+      return fail("gen heaps hold duplicate or orphan subscriptions");
     }
     if (dense_n + timed_n > topo_.num_nodes()) {
       return fail("duplicate generation subscription");

@@ -57,6 +57,7 @@
 #include "sim/message.hpp"
 #include "sim/network.hpp"
 #include "traffic/workload.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wormsim::sim {
 
@@ -110,6 +111,16 @@ struct SimulatorConfig {
   FlowControlConfig flow{};
   SimCore core = SimCore::Active;
   FastPathConfig fastpath{};
+  /// Shard the single simulation across threads (active core only):
+  /// the node/link bitmaps are partitioned into contiguous 64-bit-word
+  /// ranges, one per shard, and the generate/arrivals/eject phases run
+  /// shard-parallel with their side effects drained through per-shard
+  /// mailboxes at a deterministic barrier — results are bit-exact vs
+  /// `shards = 1` at any count. 1 = the unmodified sequential path;
+  /// 0 = one shard per hardware thread. The effective count is clamped
+  /// to the number of 64-node bitmap words, so small networks silently
+  /// degenerate to sequential execution.
+  unsigned shards = 1;
   std::uint64_t seed = 1;
 };
 
@@ -261,6 +272,11 @@ class Simulator {
   const SimulatorConfig& config() const noexcept { return cfg_; }
 
   SimCore core() const noexcept { return cfg_.core; }
+  /// Effective shard count after clamping (1 = sequential path).
+  unsigned shards() const noexcept { return shards_eff_; }
+  /// Bytes per VC slot consumed by the blocked-header route memo
+  /// (sizeof of a private struct, exported for memory-footprint math).
+  static std::size_t route_memo_entry_bytes() noexcept;
   /// Cumulative scan accounting since construction.
   const CoreScanStats& scan_stats() const noexcept { return scan_; }
 
@@ -333,6 +349,23 @@ class Simulator {
   void phase_route(Cycle t);
   void phase_transmit(Cycle t);
   void phase_inject(Cycle t);
+
+  // Shard-parallel forms of the three phases whose per-element work is
+  // exclusively element-local (see the "sharded core" section below).
+  // route/transmit/inject stay sequential: they arbitrate shared
+  // resources (free-VC masks, ejection ports, the one-flit-per-link
+  // budget) whose outcome depends on global visit order.
+  void phase_generate_sharded(Cycle t);
+  void phase_arrivals_sharded(Cycle t);
+  void phase_eject_sharded(Cycle t);
+  /// True when this step may take the sharded path: more than one
+  /// effective shard and no order-sensitive observer attached (the
+  /// tracer and spatial metrics record per-event inside the parallel
+  /// region; rather than buffering those streams too, such runs take
+  /// the sequential path — observation must not change results anyway).
+  bool use_sharded_step() const noexcept {
+    return crew_ != nullptr && tracer_ == nullptr && spatial_ == nullptr;
+  }
   /// The step() phase sequence with each phase timed into the attached
   /// OnlineStats' profiler (taken only on sampled cycles).
   void run_phases_profiled(Cycle t);
@@ -360,6 +393,15 @@ class Simulator {
   /// sources until a workload mutation bumps the epoch).
   void poll_node(NodeId node, Cycle t);
   void poll_and_reschedule(NodeId node, Cycle t);
+  /// Sharded poll: identical rescheduling logic, but generated messages
+  /// are parked in shard `s`'s mailbox (enqueue_source replays them at
+  /// the barrier) and set mutations use the unsized bitmap ops with a
+  /// per-shard size delta.
+  void poll_and_reschedule_sharded(NodeId node, Cycle t, unsigned s);
+  /// Sharded eject_node: flit movement on the (exclusively owned) VC
+  /// and ejection-port state happens inline; credits, metrics hooks and
+  /// delivery are parked in the mailbox for ordered replay.
+  void eject_node_sharded(NodeId node, Cycle t, unsigned s);
 
   /// FC3D condition: every VC the routing function offered has shown no
   /// flow-control activity for the detection threshold. On failure,
@@ -630,16 +672,72 @@ class Simulator {
                                   // pending recovery (lazily pruned)
 
   // Generation scheduling (active core): a node is subscribed in
-  // exactly one place — gen_dense_ (poll every cycle), gen_heap_
-  // (poll at the hinted cycle) or nowhere (rate-0 source). gen_where_
-  // tracks which, for O(1) transitions and coherence checks.
+  // exactly one place — gen_dense_ (poll every cycle), its owner
+  // shard's timed heap (poll at the hinted cycle) or nowhere (rate-0
+  // source). gen_where_ tracks which, for O(1) transitions and
+  // coherence checks. The heap is partitioned by node ownership — one
+  // heap per shard, gen_heaps_[0] being the whole heap when sequential
+  // — so each shard pops its own due nodes with no shared state; the
+  // due set is identical to a single heap's because "due" is a
+  // per-node property (top <= t per heap).
   enum class GenSub : std::uint8_t { None, EveryCycle, Timed };
+  using GenHeap =
+      std::priority_queue<std::pair<Cycle, NodeId>,
+                          std::vector<std::pair<Cycle, NodeId>>,
+                          std::greater<>>;
   util::ActiveSet gen_dense_;
-  std::priority_queue<std::pair<Cycle, NodeId>,
-                      std::vector<std::pair<Cycle, NodeId>>, std::greater<>>
-      gen_heap_;
+  std::vector<GenHeap> gen_heaps_;  // one per shard; [0] when sequential
   std::vector<GenSub> gen_where_;
   std::uint64_t gen_epoch_ = ~std::uint64_t{0};  // forces initial refill
+
+  // --- Sharded core (see DESIGN.md "Sharded simulation core") ----------
+  // Ownership: shard s owns the contiguous 64-bit-word ranges
+  // node_words [node_word_lo_[s], node_word_lo_[s+1]) and net-link
+  // words [link_word_lo_[s], link_word_lo_[s+1]) of every bitmap. A
+  // word is only ever mutated by its owner inside a parallel phase, so
+  // bitmap RMW is race-free; the sets' shared size counters are
+  // reconciled from per-lane deltas at the barrier.
+  /// One deferred eject event per ejected flit: credits, metrics and
+  /// (for tail flits) tenancy release + delivery, replayed in shard
+  /// order — which equals the sequential core's ascending-node order.
+  struct EjectEvent {
+    VcRef src;
+    MsgId msg = kNoMsg;
+    std::uint32_t slot = 0;   // valid iff credit
+    bool credit = false;      // non-injection source: fc_on_drained
+    bool completed = false;   // tail ejected: release + deliver
+  };
+  /// One deferred generated message (enqueue_source replayed in shard
+  /// order; per-node FIFO order is preserved because each node is
+  /// polled once per cycle by exactly one shard).
+  struct GenEvent {
+    NodeId node = 0;
+    NodeId dst = 0;
+    std::uint32_t length = 0;
+  };
+  /// Per-shard mailbox. Written by exactly one shard between barriers,
+  /// drained by the sequential commit that follows. Padded to a cache
+  /// line so neighboring lanes don't false-share.
+  struct alignas(64) ShardLane {
+    std::vector<GenEvent> gen_events;
+    std::vector<PendingRoute> enrolls;
+    std::vector<EjectEvent> ejects;
+    util::SmallVector<traffic::GeneratedMessage, 8> gen_buf;
+    std::uint64_t visited = 0;             // scan_visited delta
+    std::ptrdiff_t gen_dense_delta = 0;    // unsized insert/erase balance
+    std::ptrdiff_t arrival_delta = 0;
+    std::ptrdiff_t eject_delta = 0;
+  };
+  std::vector<ShardLane> lanes_;
+  std::unique_ptr<util::ShardCrew> crew_;  // null when shards_eff_ == 1
+  unsigned shards_eff_ = 1;
+  std::vector<std::size_t> node_word_lo_;  // size shards_eff_+1
+  std::vector<std::size_t> link_word_lo_;  // size shards_eff_+1
+  std::vector<std::uint32_t> word_shard_;  // node word -> owning shard
+
+  unsigned shard_of_node(NodeId node) const noexcept {
+    return shards_eff_ == 1 ? 0u : word_shard_[node >> 6];
+  }
 
   CoreScanStats scan_;
   std::size_t queue_total_ = 0;         // sum of queues_[*].size()
