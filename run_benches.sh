@@ -12,6 +12,18 @@ status=0
 # The gate checker validates itself before it is trusted with any
 # real bench JSON.
 python3 tools/check_bench.py --self-test || status=1
+# TSan preflight over the shard-labelled tests: the sharded
+# evaluate/commit core must be provably race-free before its scaling
+# numbers mean anything. Builds a separate instrumented tree (slow the
+# first time, incremental after); WORMSIM_SKIP_TSAN_PREFLIGHT=1 skips,
+# e.g. on hosts without TSan runtime support.
+if [ "${WORMSIM_SKIP_TSAN_PREFLIGHT:-0}" != "1" ]; then
+  echo "===== tsan preflight (ctest -L shard; WORMSIM_SKIP_TSAN_PREFLIGHT=1 to skip)"
+  cmake -B build-tsan -S . -DWORMSIM_TSAN=ON >/dev/null \
+    && cmake --build build-tsan -j >/dev/null \
+    && (cd build-tsan && ctest -L shard --output-on-failure) \
+    || status=1
+fi
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   name=$(basename "$b")

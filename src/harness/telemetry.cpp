@@ -128,7 +128,12 @@ void emit_perf(util::JsonWriter& w, const config::SimConfig& cfg,
   w.field("avg_active_links", r.avg_active_links);
   w.field("avg_active_nodes", r.avg_active_nodes);
   w.field("route_memo_hit_rate", r.route_memo_hit_rate);
-  w.field("shards", static_cast<std::uint64_t>(cfg.sim.shards));
+  w.key("shards");
+  w.begin_object();
+  w.field("count", static_cast<std::uint64_t>(cfg.sim.shards));
+  w.field("commit_decisions", r.commit_decisions);
+  w.field("commit_conflicts", r.commit_conflicts);
+  w.end_object();
   const config::MemoryFootprint mem = config::estimate_memory(cfg);
   w.key("memory");
   w.begin_object();

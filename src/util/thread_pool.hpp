@@ -67,6 +67,20 @@ class ThreadPool {
     return requested == 0 ? default_jobs() : requested;
   }
 
+  /// Largest shard count that keeps `jobs` concurrent simulations, each
+  /// running `shards` crew lanes, within `hardware` threads. `shards`
+  /// follows the SimulatorConfig convention (0 = one per hardware
+  /// thread); the result is always >= 1 and never larger than the
+  /// (resolved) request — oversubscription clamps, it never grows.
+  static unsigned clamp_shards_for_jobs(unsigned shards, unsigned jobs,
+                                        unsigned hardware) noexcept {
+    const unsigned hw = std::max(1u, hardware);
+    const unsigned j = std::max(1u, jobs);
+    const unsigned eff = shards == 0 ? hw : shards;
+    if (static_cast<unsigned long long>(j) * eff <= hw) return eff;
+    return std::max(1u, hw / j);
+  }
+
  private:
   void worker_loop(std::size_t self);
   /// Pop a task for worker `self`: own deque first (front), then steal

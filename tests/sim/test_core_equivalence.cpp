@@ -646,13 +646,18 @@ TEST(ShardEquivalence, TelemetryByteIdenticalOutsidePerf) {
   const auto sharded = lines_of(serialize(4));
   ASSERT_EQ(seq.size(), sharded.size());
   bool saw_shards_field = false;
+  bool saw_conflict_field = false;
   for (std::size_t i = 0; i < seq.size(); ++i) {
     EXPECT_EQ(strip_perf(seq[i]), strip_perf(sharded[i])) << "record " << i;
     saw_shards_field |=
-        sharded[i].find("\"shards\":4") != std::string::npos;
+        sharded[i].find("\"shards\":{\"count\":4") != std::string::npos;
+    saw_conflict_field |=
+        sharded[i].find("\"commit_conflicts\":") != std::string::npos;
   }
-  // And the perf section does report the execution strategy.
+  // And the perf section does report the execution strategy, including
+  // the evaluate/commit speculation counters.
   EXPECT_TRUE(saw_shards_field);
+  EXPECT_TRUE(saw_conflict_field);
 }
 
 /// The dense reference core stays single-threaded by design; asking it

@@ -7,6 +7,7 @@
 // the node and link words instead of clamping to one lane.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 
@@ -23,12 +24,19 @@ constexpr unsigned kK = 16, kN = 2;  // 256 nodes
 
 std::unique_ptr<Simulator> make_sharded(unsigned shards, double offered,
                                         std::uint64_t seed,
-                                        fault::FaultSchedule faults = {}) {
+                                        fault::FaultSchedule faults = {},
+                                        FlowControl scheme =
+                                            FlowControl::Wormhole) {
   const topo::KAryNCube topo(kK, kN);
   SimulatorConfig cfg = default_config();
   cfg.core = SimCore::Active;
   cfg.shards = shards;
   cfg.limiter.kind = core::LimiterKind::ALO;
+  cfg.flow.scheme = scheme;
+  if (scheme == FlowControl::Vct) {
+    // Whole-packet admission needs message-deep buffers.
+    cfg.net.buf_flits = std::max(cfg.net.buf_flits, 16u);
+  }
   cfg.faults = std::move(faults);
   traffic::WorkloadConfig wcfg;
   wcfg.offered_flits_per_node_cycle = offered;
@@ -176,15 +184,22 @@ TEST(ShardLockStep, AgreesThroughFaultTransients) {
 /// Seed fuzz: 100 random workload seeds, each run a short stretch at a
 /// load drawn from the seed, on 1 vs 3 shards. End-state aggregates
 /// must match exactly and the full invariant battery must hold on the
-/// sharded instance. Cheap per seed, broad across traffic shapes.
-TEST(ShardFuzz, HundredSeedsAgreeAndHoldInvariants) {
+/// sharded instance. Cheap per seed, broad across traffic shapes, and
+/// — like the fault fuzz matrix — run once per flow-control scheme,
+/// since each scheme drives different commit-phase side effects
+/// (credit returns, whole-packet admission) through the speculative
+/// evaluate/commit protocol.
+class ShardFuzz : public ::testing::TestWithParam<FlowControl> {};
+
+TEST_P(ShardFuzz, HundredSeedsAgreeAndHoldInvariants) {
+  const FlowControl scheme = GetParam();
   for (std::uint64_t seed = 1; seed <= 100; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     // Deterministic seed-derived load in [0.2, 1.2): covers drained,
     // near-saturation and oversaturated regimes across the fuzz.
     const double offered = 0.2 + static_cast<double>(seed % 10) * 0.1;
-    auto seq = make_sharded(1, offered, seed);
-    auto par = make_sharded(2 + seed % 3, offered, seed);
+    auto seq = make_sharded(1, offered, seed, {}, scheme);
+    auto par = make_sharded(2 + seed % 3, offered, seed, {}, scheme);
     for (int i = 0; i < 350; ++i) {
       seq->step();
       par->step();
@@ -199,6 +214,15 @@ TEST(ShardFuzz, HundredSeedsAgreeAndHoldInvariants) {
     ASSERT_TRUE(testing::check_all_invariants(*par));
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ShardFuzz,
+                         ::testing::Values(FlowControl::Wormhole,
+                                           FlowControl::Credit,
+                                           FlowControl::Vct),
+                         [](const auto& info) {
+                           return std::string(
+                               flow_control_name(info.param));
+                         });
 
 }  // namespace
 }  // namespace wormsim::sim

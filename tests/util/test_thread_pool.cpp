@@ -133,6 +133,28 @@ TEST(ThreadPool, DefaultJobsHonoursEnvOverride) {
   }
 }
 
+TEST(ThreadPool, ClampShardsForJobsGuardsOversubscription) {
+  // Fits: jobs x shards <= hardware passes the request through.
+  EXPECT_EQ(ThreadPool::clamp_shards_for_jobs(4, 2, 8), 4u);
+  EXPECT_EQ(ThreadPool::clamp_shards_for_jobs(8, 1, 8), 8u);
+  // Oversubscribed: clamp to hardware / jobs, never grow.
+  EXPECT_EQ(ThreadPool::clamp_shards_for_jobs(8, 2, 8), 4u);
+  EXPECT_EQ(ThreadPool::clamp_shards_for_jobs(4, 4, 8), 2u);
+  EXPECT_EQ(ThreadPool::clamp_shards_for_jobs(3, 3, 8), 2u);
+  // shards == 0 means "one per hardware thread"; any parallel sweep on
+  // top of that must shrink the crews to fit.
+  EXPECT_EQ(ThreadPool::clamp_shards_for_jobs(0, 1, 8), 8u);
+  EXPECT_EQ(ThreadPool::clamp_shards_for_jobs(0, 4, 8), 2u);
+  // Floor of 1 even when jobs alone exceed the machine, and degenerate
+  // hardware/jobs inputs are treated as 1.
+  EXPECT_EQ(ThreadPool::clamp_shards_for_jobs(4, 16, 8), 1u);
+  EXPECT_EQ(ThreadPool::clamp_shards_for_jobs(4, 16, 1), 1u);
+  EXPECT_EQ(ThreadPool::clamp_shards_for_jobs(4, 0, 4), 4u);
+  EXPECT_EQ(ThreadPool::clamp_shards_for_jobs(0, 0, 0), 1u);
+  // The sequential request (shards == 1) is always left alone.
+  EXPECT_EQ(ThreadPool::clamp_shards_for_jobs(1, 64, 2), 1u);
+}
+
 TEST(ThreadPool, Jobs1DegeneratesToSerialOnCallingThread) {
   ScopedJobsEnv env("1");
   ASSERT_EQ(ThreadPool::default_jobs(), 1u);

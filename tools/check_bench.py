@@ -207,6 +207,21 @@ def self_test():
     del missing_field["points"][0]["recovery_cycles"]
     rc |= _expect(missing_field, 1, "criteria field missing from point")
 
+    # Conditional gates (e.g. shard_scaling's multishard_speedup_min,
+    # emitted only on multi-core hosts): when both the criteria key and
+    # the per-point field are absent, the gate is simply off and the
+    # file passes; re-adding just the key re-arms it, so a producer that
+    # emits the criterion without the measurements fails loudly.
+    conditional = variant()
+    for p in conditional["points"]:
+        del p["ratio"]
+    del conditional["criteria"]["ratio_min"]
+    rc |= _expect(conditional, 0, "conditional gate absent: not enforced")
+
+    armed = json.loads(json.dumps(conditional))
+    armed["criteria"]["ratio_min"] = 0.5
+    rc |= _expect(armed, 1, "conditional gate armed without its field")
+
     rc |= _expect(variant(schema="wormsim.bench/999"), 1, "wrong schema")
     no_schema = variant()
     del no_schema["schema"]
